@@ -1,0 +1,107 @@
+"""Figure 1 — confidence-region accuracy on the synthetic correlation suites.
+
+Regenerates, for each correlation level (weak / medium / strong):
+
+1. the marginal-probability vs joint confidence-region comparison (region
+   sizes at the working confidence level),
+2. the MC validation curve ``1 - alpha - p_hat(alpha)`` for the dense and
+   the TLR results (paper: stays within ~ +/- 0.0075),
+3. the dense-vs-TLR difference as a function of the TLR accuracy
+   (paper: < 1e-3 at accuracy 1e-1 for weak/medium, negligible below 1e-3).
+
+Paper scale: 40,000 locations, QMC N = 10,000, MC validation N = 50,000.
+Reproduction scale: ``SMALL_GRID``^2 locations, QMC N = 3,000, MC N = 20,000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SMALL_GRID, save_table
+from repro.core import confidence_region
+from repro.datasets import make_synthetic_dataset
+from repro.excursion import compare_confidence_functions, mc_validate_regions
+from repro.runtime import Runtime
+from repro.utils.reporting import Table
+
+QMC_SAMPLES = 3_000
+MC_VALIDATION_SAMPLES = 20_000
+TLR_ACCURACIES = (1e-1, 1e-3, 1e-5)
+
+
+def _run_level(level: str, method: str, accuracy: float = 1e-3, rng: int = 17):
+    dataset = make_synthetic_dataset(level, grid_size=SMALL_GRID, rng=7)
+    threshold = dataset.default_threshold(0.55)
+    result = confidence_region(
+        dataset.posterior.covariance,
+        dataset.posterior.mean,
+        threshold,
+        method=method,
+        accuracy=accuracy,
+        n_samples=QMC_SAMPLES,
+        tile_size=max(32, dataset.n // 8),
+        rng=rng,
+        runtime=Runtime(n_workers=4),
+    )
+    return dataset, threshold, result
+
+
+@pytest.mark.parametrize("level", ["weak", "medium", "strong"])
+def test_fig1_accuracy(benchmark, level):
+    """One full Figure-1 column per correlation level."""
+    dataset, threshold, dense = benchmark.pedantic(
+        lambda: _run_level(level, "dense"), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["quantity", "level/accuracy", "dense", "tlr"],
+        title=f"Figure 1 ({level} correlation, range={dataset.kernel.range_}) — "
+        f"n={dataset.n}, u={threshold:.3f}, QMC N={QMC_SAMPLES}",
+    )
+
+    # marginal vs joint region sizes at 1-alpha = 0.75
+    marg_size = int(np.count_nonzero(dense.marginal_probabilities >= 0.75))
+    table.add_row(["marginal region size (p>=0.75)", "-", marg_size, "-"])
+
+    tlr_results = {}
+    for accuracy in TLR_ACCURACIES:
+        _, _, tlr = _run_level(level, "tlr", accuracy=accuracy)
+        tlr_results[accuracy] = tlr
+
+    tlr_ref = tlr_results[1e-3]
+    table.add_row(
+        ["confidence region size (1-a=0.75)", "-", dense.region_size(0.25), tlr_ref.region_size(0.25)]
+    )
+
+    # MC validation curve (third column of Figure 1)
+    for name, result in (("dense", dense), ("tlr", tlr_ref)):
+        validation = mc_validate_regions(
+            result, dataset.posterior.covariance, dataset.posterior.mean,
+            n_samples=MC_VALIDATION_SAMPLES, rng=3,
+        )
+        nonempty = [
+            i for i, lvl in enumerate(validation.levels) if result.region_size(1 - lvl) > 0
+        ]
+        worst = float(np.max(np.abs(validation.differences[nonempty]))) if nonempty else 0.0
+        table.add_row(
+            [f"MC error max|1-a-p^| ({name})", "levels with non-empty region", worst, "-"]
+        )
+
+    # dense-vs-TLR differences across accuracy levels (fourth column)
+    for accuracy in TLR_ACCURACIES:
+        cmp = compare_confidence_functions(dense, tlr_results[accuracy])
+        table.add_row(
+            ["dense vs TLR max |F+ diff|", f"eps={accuracy:g}", "-", cmp["max_pointwise_difference"]]
+        )
+
+    save_table(table, f"fig1_{level}")
+    print()
+    print(table.render())
+
+    # reproduction acceptance checks (paper's qualitative claims)
+    assert dense.region_size(0.25) <= marg_size
+    tight = compare_confidence_functions(dense, tlr_results[1e-5])["max_pointwise_difference"]
+    loose = compare_confidence_functions(dense, tlr_results[1e-1])["max_pointwise_difference"]
+    assert tight <= loose + 1e-9
+    assert tight < 1e-2

@@ -1,0 +1,73 @@
+"""Figure 5 — rank distributions of the TLR-compressed covariance matrix.
+
+The paper compresses a 19,600 x 19,600 covariance (tile 980) at accuracy
+1e-3 for the three synthetic correlation levels and shows that (i) most
+off-diagonal tiles have single-digit ranks and (ii) ranks shrink as the
+spatial correlation strengthens.
+
+Reproduction scale: a 2,500-point grid with tile 250 (same tile-count
+structure, 10 x 10 tiles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.datasets import CORRELATION_LEVELS
+from repro.kernels import ExponentialKernel, Geometry
+from repro.tlr import rank_distribution
+from repro.utils.reporting import Table
+
+GRID_SIDE = 50          # 2,500 locations (paper: 19,600)
+TILE_SIZE = 250         # 10 x 10 tiles (paper: 980 -> 20 x 20 tiles)
+ACCURACY = 1e-3
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return Geometry.regular_grid(GRID_SIDE, GRID_SIDE)
+
+
+@pytest.mark.parametrize("level", ["weak", "medium", "strong"])
+def test_fig5_rank_distribution(benchmark, geometry, level):
+    kernel = ExponentialKernel(1.0, CORRELATION_LEVELS[level])
+    report = benchmark.pedantic(
+        lambda: rank_distribution(kernel, geometry.locations, TILE_SIZE, accuracy=ACCURACY),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        ["rank bin", "tile count"],
+        title=f"Figure 5 ({level} correlation, range={CORRELATION_LEVELS[level]}) — "
+        f"n={geometry.n}, tile={TILE_SIZE}, accuracy={ACCURACY:g}",
+    )
+    for label, count in report.histogram.items():
+        table.add_row([label, count])
+    table.add_row(["mean off-diagonal rank", report.mean_rank])
+    table.add_row(["median off-diagonal rank", report.median_rank])
+    table.add_row(["max off-diagonal rank", report.max_rank])
+    save_table(table, f"fig5_ranks_{level}")
+    print()
+    print(table.render())
+
+    # paper claims: ranks are small relative to the tile size
+    assert report.median_rank < TILE_SIZE / 4
+    assert report.max_rank <= TILE_SIZE
+
+
+def test_fig5_ranks_decrease_with_correlation(benchmark, geometry):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    means = {}
+    for level, range_ in CORRELATION_LEVELS.items():
+        report = rank_distribution(
+            ExponentialKernel(1.0, range_), geometry.locations, TILE_SIZE, accuracy=ACCURACY
+        )
+        means[level] = report.mean_rank
+    table = Table(["correlation level", "mean off-diagonal rank"], title="Figure 5 summary")
+    for level, mean in means.items():
+        table.add_row([level, mean])
+    save_table(table, "fig5_summary")
+    print()
+    print(table.render())
+    assert means["strong"] <= means["medium"] <= means["weak"]

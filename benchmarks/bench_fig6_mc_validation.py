@@ -1,0 +1,72 @@
+"""Figure 6 — wall time of the MC validation process vs dimension.
+
+The paper reports the execution overhead of the Monte Carlo validation of
+the detected confidence regions (N = 50,000 field samples) for dimensions
+4,900 / 19,600 / 44,100 on the four shared-memory architectures.  The
+reproduction measures the same curve at scaled dimensions on this machine
+(the validation cost is dominated by the ``n x N`` Gaussian sampling, so the
+shape is a straightforward ``O(n^2 N)`` growth after the ``O(n^3)`` factor).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DIMENSIONS, save_table
+from repro.core import confidence_region
+from repro.excursion import mc_validate_regions
+from repro.kernels import ExponentialKernel, Geometry, build_covariance
+from repro.utils.reporting import Table
+
+MC_SAMPLES = 10_000        # paper: 50,000
+
+
+def _setup(n: int):
+    side = int(round(np.sqrt(n)))
+    geom = Geometry.regular_grid(side, side)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.1), geom.locations, nugget=1e-6)
+    mean = 0.8 * np.exp(-((geom.locations[:, 0] - 0.4) ** 2 + (geom.locations[:, 1] - 0.5) ** 2) / 0.1)
+    result = confidence_region(sigma, mean, 0.5, n_samples=800, tile_size=max(100, n // 10), rng=0)
+    return sigma, mean, result
+
+
+@pytest.mark.parametrize("dimension", list(DIMENSIONS[:3]))
+def test_fig6_mc_validation_time(benchmark, dimension):
+    sigma, mean, result = _setup(dimension)
+    elapsed = {}
+
+    def run():
+        start = time.perf_counter()
+        mc_validate_regions(result, sigma, mean, n_samples=MC_SAMPLES, rng=1)
+        elapsed["t"] = time.perf_counter() - start
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["dimension", "MC samples", "elapsed (s)"],
+        title="Figure 6 (measured, scaled) — MC validation wall time",
+    )
+    table.add_row([sigma.shape[0], MC_SAMPLES, elapsed["t"]])
+    save_table(table, f"fig6_mc_validation_{dimension}")
+    print()
+    print(table.render())
+    assert elapsed["t"] > 0.0
+
+
+def test_fig6_growth_with_dimension(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = []
+    for dimension in DIMENSIONS[:3]:
+        sigma, mean, result = _setup(dimension)
+        start = time.perf_counter()
+        mc_validate_regions(result, sigma, mean, n_samples=MC_SAMPLES // 2, rng=2)
+        times.append((sigma.shape[0], time.perf_counter() - start))
+    table = Table(["dimension", "elapsed (s)"], title="Figure 6 — growth with dimension")
+    for n, t in times:
+        table.add_row([n, t])
+    save_table(table, "fig6_growth")
+    print()
+    print(table.render())
+    assert times[-1][1] > times[0][1]

@@ -1,0 +1,103 @@
+"""Figure 7 — distributed-memory scaling of one MVN integration.
+
+The paper runs on 16-512 nodes of a Cray XC40 with problem sizes up to
+500K (dense) and 760K (TLR).  The reproduction uses:
+
+* the task-level cluster simulator at a moderate size (explicit tile tasks,
+  block-cyclic ownership, per-message communication), and
+* the closed-form distributed model at the paper's exact sizes and node
+  counts, producing the two sub-figures' series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.distributed import ClusterSpec, DistributedPMVNModel, simulate_pmvn
+from repro.distributed.pmvn_model import KernelRates
+from repro.perf import get_machine
+from repro.utils.reporting import Table
+
+#: (node counts, dimensions) of the two Figure 7 sub-figures
+LEFT_PANEL = ((16, 32, 64, 128), (108_900, 187_489, 266_256, 360_000))
+RIGHT_PANEL = ((64, 128, 256, 512), (266_256, 360_000, 435_600, 537_289, 760_384))
+QMC_SAMPLES = 10_000
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return KernelRates.from_machine(get_machine("shaheen-xc40-node"))
+
+
+@pytest.mark.parametrize("panel, name", [(LEFT_PANEL, "left"), (RIGHT_PANEL, "right")])
+def test_fig7_modelled_panels(benchmark, rates, panel, name):
+    node_counts, dimensions = panel
+
+    def build():
+        rows = []
+        for nodes in node_counts:
+            model = DistributedPMVNModel(ClusterSpec(nodes), rates)
+            for n in dimensions:
+                rows.append(
+                    (
+                        nodes,
+                        n,
+                        model.total_time(n, QMC_SAMPLES, "dense"),
+                        model.total_time(n, QMC_SAMPLES, "tlr"),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = Table(
+        ["nodes", "dimension", "dense (s)", "TLR (s)"],
+        title=f"Figure 7 ({name} panel, modelled) — Cray XC40, QMC N={QMC_SAMPLES}",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    save_table(table, f"fig7_{name}")
+    print()
+    print(table.render())
+
+    # shape checks: time grows with n, shrinks with node count, TLR <= dense
+    for nodes in node_counts:
+        series = [r for r in rows if r[0] == nodes]
+        dense_times = [r[2] for r in series]
+        assert dense_times == sorted(dense_times)
+        assert all(r[3] <= r[2] for r in series)
+    for n in dimensions:
+        series = [r for r in rows if r[1] == n]
+        dense_times = [r[2] for r in series]
+        assert dense_times == sorted(dense_times, reverse=True)
+
+
+def test_fig7_task_level_simulation(benchmark, rates):
+    """Explicit task-graph simulation at a moderate size (sanity for the model)."""
+
+    def run():
+        out = []
+        for nodes in (1, 4, 16):
+            cluster = ClusterSpec(nodes)
+            dense = simulate_pmvn(
+                60_000, 4_000, 1_500, cluster, rates, method="dense", chain_block=500
+            )
+            tlr = simulate_pmvn(
+                60_000, 4_000, 1_500, cluster, rates, method="tlr", mean_rank=16, chain_block=500
+            )
+            out.append((nodes, dense.makespan, tlr.makespan, dense.parallel_efficiency))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["nodes", "dense makespan (s)", "TLR makespan (s)", "dense efficiency"],
+        title="Figure 7 (task-level simulation, n=60,000, N=4,000)",
+    )
+    for row in rows:
+        table.add_row(list(row))
+    save_table(table, "fig7_simulated")
+    print()
+    print(table.render())
+    # more nodes should not be slower; TLR should not be slower than dense
+    assert rows[-1][1] <= rows[0][1] * 1.05
+    assert all(r[2] <= r[1] * 1.05 for r in rows)

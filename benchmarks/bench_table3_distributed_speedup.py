@@ -1,0 +1,66 @@
+"""Table III — TLR vs dense end-to-end speedup on the distributed machine.
+
+The paper's band is 1.3x-1.8x across 16-512 nodes (QMC N = 10,000), far
+below the shared-memory speedups, because the integration sweep (which the
+paper performs in dense arithmetic in both cases) and the communication
+dominate at scale while only the Cholesky factorization benefits from TLR —
+the paper reports 1.9x-5.2x for the Cholesky phase alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.distributed import ClusterSpec, DistributedPMVNModel
+from repro.distributed.pmvn_model import KernelRates
+from repro.perf import get_machine
+from repro.utils.reporting import Table
+
+CONFIGS = [
+    (16, 108_900),
+    (32, 187_489),
+    (64, 266_256),
+    (128, 360_000),
+    (256, 537_289),
+    (512, 760_384),
+]
+PAPER_E2E = {16: 1.8, 32: 1.8, 64: 1.4, 128: 1.7, 256: 1.3, 512: 1.5}
+PAPER_CHOLESKY = {16: 5.2, 32: 4.5, 64: 2.6, 128: 3.1, 256: 1.9, 512: 2.6}
+QMC_SAMPLES = 10_000
+
+
+def test_table3_speedups(benchmark):
+    rates = KernelRates.from_machine(get_machine("shaheen-xc40-node"))
+
+    def build():
+        rows = []
+        for nodes, n in CONFIGS:
+            model = DistributedPMVNModel(ClusterSpec(nodes), rates)
+            rows.append(
+                (
+                    nodes,
+                    n,
+                    model.speedup_tlr_over_dense(n, QMC_SAMPLES),
+                    model.cholesky_speedup_tlr_over_dense(n),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = Table(
+        ["nodes", "dimension", "modelled e2e speedup", "modelled Cholesky speedup",
+         "paper e2e", "paper Cholesky"],
+        title=f"Table III — TLR vs dense on the Cray XC40 model, QMC N={QMC_SAMPLES}",
+    )
+    for nodes, n, e2e, chol in rows:
+        table.add_row([nodes, n, e2e, chol, PAPER_E2E[nodes], PAPER_CHOLESKY[nodes]])
+    save_table(table, "table3_distributed_speedup")
+    print()
+    print(table.render())
+
+    for nodes, n, e2e, chol in rows:
+        # the reproduction must land in a modest band, well below the
+        # shared-memory speedups and below the Cholesky-only speedup
+        assert 1.1 < e2e < 3.0
+        assert chol > e2e

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+reproduction runs in pure Python on a single machine, the *measured* problem
+sizes are scaled down from the paper's (documented per benchmark and in
+EXPERIMENTS.md); the analytic models are then used to extrapolate to the
+paper's node counts and dimensions where relevant.
+
+All benchmarks write their tables/series to ``benchmarks/results/`` as both
+``.txt`` (aligned, human-readable) and ``.csv``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.utils.reporting import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: number of worker threads used by the measured (non-model) benchmarks
+N_WORKERS = min(8, os.cpu_count() or 1)
+
+#: scale factor knobs: keep the default runs in the minutes range
+SMALL_GRID = 20          # synthetic accuracy grids (paper: 200 x 200)
+QMC_SIZES = (100, 1000, 4000)   # paper: 100 / 1,000 / 10,000
+DIMENSIONS = (400, 900, 1600, 2500)   # paper: 4,900 ... 78,400
+
+
+def save_table(table: Table, name: str) -> None:
+    """Persist a results table as .txt and .csv under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table.render())
+    table.to_csv(RESULTS_DIR / f"{name}.csv")
+
+
+def save_text(text: str, name: str) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

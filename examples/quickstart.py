@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: high-dimensional MVN probabilities with the repro library.
+
+Builds a spatial covariance matrix, computes the MVN probability of a box
+with every available estimator (naive MC, sequential Genz SOV, the parallel
+tile-based PMVN in dense and TLR mode), and shows that they agree — with the
+TLR variant running on a compressed factor.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import Runtime, mvn_probability
+from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+
+def main() -> None:
+    # 1. A spatial problem: 900 locations on a 30 x 30 grid with an
+    #    exponential covariance (medium correlation, as in the paper).
+    geometry = Geometry.regular_grid(30, 30)
+    kernel = ExponentialKernel(sigma2=1.0, range_=0.1)
+    sigma = build_covariance(kernel, geometry.locations, nugget=1e-6)
+    n = geometry.n
+    print(f"problem: n = {n} locations, exponential kernel range = {kernel.range_}")
+
+    # 2. Integration limits: the probability that the field stays below 3
+    #    standard deviations everywhere (an orthant-type probability with a
+    #    non-trivial value at this dimension).
+    a = np.full(n, -np.inf)
+    b = np.full(n, 3.0)
+
+    # 3. Estimate with every method.
+    runtime = Runtime(n_workers=4, policy="prio")
+    methods = [
+        ("mc", dict(n_samples=20_000)),
+        ("sov", dict(n_samples=2_000)),
+        ("dense", dict(n_samples=2_000, tile_size=150, runtime=runtime)),
+        ("tlr", dict(n_samples=2_000, tile_size=150, accuracy=1e-3, runtime=runtime)),
+    ]
+    print(f"\n{'method':10s} {'probability':>14s} {'std error':>12s} {'time':>9s}")
+    for name, kwargs in methods:
+        start = time.perf_counter()
+        result = mvn_probability(a, b, sigma, method=name, rng=42, **kwargs)
+        elapsed = time.perf_counter() - start
+        print(f"{name:10s} {result.probability:14.6f} {result.error:12.2e} {elapsed:8.2f}s")
+
+    print(
+        "\nAll estimators agree within their Monte Carlo error; the TLR method"
+        "\nfactors a compressed covariance and is the one that scales to the"
+        "\npaper's 100K+ dimensional problems."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Performance study: dense vs TLR, worker scaling, and the distributed model.
+
+Mirrors the paper's quantitative evaluation at laptop scale:
+
+1. measures one PMVN integration (dense vs TLR) across problem sizes and
+   QMC sample sizes on this machine (Figure 4 / Table II shape),
+2. sweeps the number of runtime worker threads to show task-parallel scaling,
+3. evaluates the calibrated distributed model at the paper's node counts
+   (Figure 7 / Table III shape).
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import Runtime, pmvn_dense, pmvn_tlr
+from repro.distributed import ClusterSpec, DistributedPMVNModel
+from repro.distributed.pmvn_model import KernelRates
+from repro.kernels import ExponentialKernel, Geometry, build_covariance
+from repro.perf import calibrate, get_machine
+from repro.utils.reporting import Table
+
+
+def measure(sigma, method, n_samples, n_workers):
+    n = sigma.shape[0]
+    a, b = np.full(n, -np.inf), np.full(n, 0.5)
+    runtime = Runtime(n_workers=n_workers)
+    start = time.perf_counter()
+    if method == "dense":
+        pmvn_dense(a, b, sigma, n_samples=n_samples, tile_size=max(100, n // 8), runtime=runtime, rng=0)
+    else:
+        pmvn_tlr(a, b, sigma, n_samples=n_samples, tile_size=max(100, n // 8), accuracy=1e-3,
+                 runtime=runtime, rng=0)
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    n_workers = min(8, os.cpu_count() or 1)
+    print("local kernel calibration:", calibrate(tile_size=256, rank=16))
+
+    # 1. dense vs TLR across sizes (Figure 4 shape)
+    table = Table(["n", "QMC N", "dense (s)", "TLR (s)", "speedup"],
+                  title=f"one MVN integration, {n_workers} workers")
+    for side in (20, 32, 40):
+        geom = Geometry.regular_grid(side, side)
+        sigma = build_covariance(ExponentialKernel(1.0, 0.1), geom.locations, nugget=1e-6)
+        for n_samples in (500, 2000):
+            dense_t = measure(sigma, "dense", n_samples, n_workers)
+            tlr_t = measure(sigma, "tlr", n_samples, n_workers)
+            table.add_row([geom.n, n_samples, dense_t, tlr_t, dense_t / tlr_t])
+    print()
+    print(table.render())
+
+    # 2. worker scaling of the dense PMVN
+    geom = Geometry.regular_grid(36, 36)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.1), geom.locations, nugget=1e-6)
+    table = Table(["workers", "elapsed (s)", "speedup vs 1 worker"], title="runtime worker scaling")
+    base = None
+    for workers in (1, 2, 4, n_workers):
+        elapsed = measure(sigma, "dense", 2000, workers)
+        base = base or elapsed
+        table.add_row([workers, elapsed, base / elapsed])
+    print(table.render())
+
+    # 3. distributed model at the paper's scale (Figure 7 / Table III shape)
+    rates = KernelRates.from_machine(get_machine("shaheen-xc40-node"))
+    table = Table(["nodes", "n", "dense (s)", "TLR (s)", "speedup"],
+                  title="distributed model (Cray XC40, QMC N = 10,000)")
+    for nodes, n in [(16, 108_900), (64, 266_256), (128, 360_000), (512, 760_384)]:
+        model = DistributedPMVNModel(ClusterSpec(nodes), rates)
+        dense_t = model.total_time(n, 10_000, "dense")
+        tlr_t = model.total_time(n, 10_000, "tlr")
+        table.add_row([nodes, n, dense_t, tlr_t, dense_t / tlr_t])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Wind-farm siting from wind-speed confidence regions (paper Section V-C2).
+
+Reproduces the Figure-2 workflow on the simulated Saudi-Arabia wind dataset:
+
+1. build the daily wind-speed field and standardize it by the climatology,
+2. fit Matérn covariance parameters by maximum likelihood (the ExaGeoStat
+   step of the paper's pipeline),
+3. detect the regions whose wind speed exceeds 4 m/s with 95% confidence
+   using the TLR backend,
+4. contrast the result with the (over-optimistic) marginal probability map
+   and report the candidate wind-farm locations.
+
+Run:  python examples/wind_farm_siting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Runtime, confidence_region
+from repro.datasets import make_wind_dataset
+from repro.excursion import excursion_map, marginal_probability_map, region_overlap
+from repro.kernels import build_covariance
+from repro.stats import fit_kernel
+from repro.utils.reporting import ascii_heatmap
+
+
+def main() -> None:
+    print("=== wind-farm siting over the Arabian peninsula (simulated data) ===")
+    wind = make_wind_dataset(grid_nx=36, grid_ny=28, rng=15)
+    print(f"n = {wind.n} grid locations, threshold = {wind.threshold_ms} m/s, "
+          f"climatology mean = {wind.climatology_mean:.2f} m/s")
+
+    print("\n(a) daily wind speed [m/s]:")
+    print(ascii_heatmap(wind.geometry.as_image(wind.wind_speed)))
+
+    # Matérn fit on a subsample (ExaGeoStat's role in the original pipeline)
+    subsample = np.random.default_rng(0).choice(wind.n, size=300, replace=False)
+    fit = fit_kernel(
+        wind.geometry.locations[subsample],
+        wind.standardized[subsample],
+        family="matern",
+        fixed_smoothness=1.43391,
+        max_iterations=30,
+    )
+    print(f"\nfitted Matérn parameters (sigma2, range, smoothness) = "
+          f"({fit.theta[0]:.3f}, {fit.theta[1]:.4f}, {fit.theta[2]:.3f})")
+
+    sigma = build_covariance(fit.kernel, wind.geometry.locations, nugget=1e-6)
+    marginal_img = marginal_probability_map(
+        wind.geometry, wind.standardized, np.diag(sigma), wind.standardized_threshold
+    )
+    print("\n(b) marginal probability P(wind > 4 m/s):")
+    print(ascii_heatmap(marginal_img))
+
+    runtime = Runtime(n_workers=4)
+    dense = confidence_region(
+        sigma, wind.standardized, wind.standardized_threshold,
+        method="dense", n_samples=2_000, tile_size=144, rng=5, runtime=runtime,
+    )
+    tlr = confidence_region(
+        sigma, wind.standardized, wind.standardized_threshold,
+        method="tlr", accuracy=1e-4, max_rank=145, n_samples=2_000, tile_size=144, rng=5,
+        runtime=runtime,
+    )
+
+    alpha = 0.05
+    dense_img = excursion_map(wind.geometry, dense, alpha)
+    tlr_img = excursion_map(wind.geometry, tlr, alpha)
+    print(f"\n(c) confidence regions at 95% (dense backend):")
+    print(ascii_heatmap(dense_img))
+    print(f"\n(d) confidence regions at 95% (TLR backend, accuracy 1e-4):")
+    print(ascii_heatmap(tlr_img))
+
+    overlap = region_overlap(dense_img, tlr_img)
+    n_marginal = int(np.count_nonzero(marginal_img >= 0.95))
+    print(f"\nmarginal 'region' size (p >= 0.95): {n_marginal} locations "
+          f"(over-optimistic, as the paper stresses)")
+    print(f"joint confidence region size: dense = {overlap['size_a']}, TLR = {overlap['size_b']}, "
+          f"Jaccard overlap = {overlap['jaccard']:.3f}")
+
+    candidates = np.flatnonzero(tlr.excursion_set(alpha))
+    if candidates.size:
+        lons = wind.lon_lat[candidates, 0]
+        lats = wind.lon_lat[candidates, 1]
+        print(f"\ncandidate wind-farm cells (95% confidence of > 4 m/s): {candidates.size}")
+        print(f"  longitude span: {lons.min():.1f}E - {lons.max():.1f}E")
+        print(f"  latitude span:  {lats.min():.1f}N - {lats.max():.1f}N")
+    else:
+        print("\nno cell exceeds 4 m/s with 95% confidence at this resolution; "
+              "lower the confidence level or refine the grid.")
+
+
+if __name__ == "__main__":
+    main()

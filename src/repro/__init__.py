@@ -1,0 +1,53 @@
+"""repro: parallel approximations for high-dimensional multivariate normal
+probability computation in confidence region detection applications.
+
+A from-scratch Python reproduction of the IPDPS 2024 paper by Zhang,
+Abdulah, Cao, Ltaief, Sun, Genton and Keyes.  The package provides:
+
+* a task-based runtime (:mod:`repro.runtime`) standing in for StarPU,
+* dense tile linear algebra (:mod:`repro.tile`) standing in for Chameleon,
+* Tile Low-Rank algebra (:mod:`repro.tlr`) standing in for HiCMA,
+* the statistical substrate (:mod:`repro.kernels`, :mod:`repro.stats`,
+  :mod:`repro.fields`),
+* the paper's contribution — parallel SOV/PMVN and confidence region
+  detection (:mod:`repro.core`, :mod:`repro.excursion`),
+* datasets, a simulated distributed-memory cluster and performance models
+  (:mod:`repro.datasets`, :mod:`repro.distributed`, :mod:`repro.perf`).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import mvn_probability
+>>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> result = mvn_probability([-np.inf, -np.inf], [0.0, 0.0], sigma,
+...                          method="sov", n_samples=2000, rng=0)
+>>> abs(result.probability - 1/3) < 0.02
+True
+"""
+
+from repro.core.api import mvn_probability
+from repro.core.crd import ConfidenceRegionResult, confidence_region, confidence_region_from_posterior
+from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, PMVNOptions
+from repro.core.factor import factorize
+from repro.mvn import MVNResult, mvn_mc, mvn_sov, mvn_sov_vectorized
+from repro.runtime import Runtime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "mvn_probability",
+    "ConfidenceRegionResult",
+    "confidence_region",
+    "confidence_region_from_posterior",
+    "pmvn_dense",
+    "pmvn_tlr",
+    "pmvn_integrate",
+    "PMVNOptions",
+    "factorize",
+    "MVNResult",
+    "mvn_mc",
+    "mvn_sov",
+    "mvn_sov_vectorized",
+    "Runtime",
+    "__version__",
+]

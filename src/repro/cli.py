@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Three subcommands cover the library's main workflows without writing Python:
+
+``repro mvn``
+    Estimate an MVN probability for a covariance matrix stored in ``.npy`` /
+    ``.npz`` (or a synthetic spatial covariance generated on the fly).
+
+``repro crd``
+    Run confidence-region detection on a synthetic dataset (or a covariance /
+    mean pair loaded from ``.npy``) and optionally save the result.
+
+``repro calibrate``
+    Measure the local kernel rates used by the performance models.
+
+The CLI is intentionally thin: it parses arguments, calls the same public
+API the examples use, and prints the plain-text tables from
+:mod:`repro.utils.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel high-dimensional MVN probabilities and confidence region detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mvn = sub.add_parser("mvn", help="estimate an MVN probability")
+    mvn.add_argument("--covariance", type=Path, help=".npy/.npz file with the covariance matrix")
+    mvn.add_argument("--grid", type=int, default=20, help="synthetic grid side when no covariance is given")
+    mvn.add_argument("--kernel-range", type=float, default=0.1, help="synthetic exponential kernel range")
+    mvn.add_argument("--upper", type=float, default=1.0, help="upper limit applied to every dimension")
+    mvn.add_argument("--lower", type=float, default=None, help="lower limit (default -inf)")
+    mvn.add_argument("--method", default="dense", choices=["mc", "sov", "sov-seq", "dense", "tlr"])
+    mvn.add_argument("--samples", type=int, default=2000, help="MC/QMC sample size")
+    mvn.add_argument("--tile-size", type=int, default=None)
+    mvn.add_argument("--accuracy", type=float, default=1e-3, help="TLR compression accuracy")
+    mvn.add_argument("--workers", type=int, default=1, help="runtime worker threads")
+    mvn.add_argument("--seed", type=int, default=0)
+
+    crd = sub.add_parser("crd", help="confidence region detection on a synthetic dataset")
+    crd.add_argument("--correlation", default="medium", help="weak / medium / strong or a range value")
+    crd.add_argument("--grid", type=int, default=20, help="grid side of the synthetic dataset")
+    crd.add_argument("--threshold-quantile", type=float, default=0.6,
+                     help="threshold as a quantile of the latent field")
+    crd.add_argument("--confidence", type=float, default=0.95, help="confidence level 1-alpha")
+    crd.add_argument("--method", default="tlr", choices=["dense", "tlr"])
+    crd.add_argument("--accuracy", type=float, default=1e-3)
+    crd.add_argument("--samples", type=int, default=2000)
+    crd.add_argument("--workers", type=int, default=1)
+    crd.add_argument("--seed", type=int, default=0)
+    crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
+    crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
+
+    cal = sub.add_parser("calibrate", help="measure local kernel rates")
+    cal.add_argument("--tile-size", type=int, default=256)
+    cal.add_argument("--rank", type=int, default=16)
+
+    return parser
+
+
+def _load_covariance(args) -> np.ndarray:
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+    if args.covariance is not None:
+        loaded = np.load(args.covariance)
+        if isinstance(loaded, np.lib.npyio.NpzFile):
+            key = "covariance" if "covariance" in loaded.files else loaded.files[0]
+            return np.asarray(loaded[key], dtype=np.float64)
+        return np.asarray(loaded, dtype=np.float64)
+    geom = Geometry.regular_grid(args.grid, args.grid)
+    kernel = ExponentialKernel(1.0, args.kernel_range)
+    return build_covariance(kernel, geom.locations, nugget=1e-6)
+
+
+def _cmd_mvn(args) -> int:
+    from repro import Runtime, mvn_probability
+
+    sigma = _load_covariance(args)
+    n = sigma.shape[0]
+    lower = -np.inf if args.lower is None else args.lower
+    runtime = Runtime(n_workers=args.workers) if args.workers > 1 else None
+    result = mvn_probability(
+        np.full(n, lower), np.full(n, args.upper), sigma,
+        method=args.method, n_samples=args.samples, tile_size=args.tile_size,
+        accuracy=args.accuracy, rng=args.seed, runtime=runtime,
+    )
+    print(f"dimension        : {result.dimension}")
+    print(f"method           : {result.method}")
+    print(f"samples          : {result.n_samples}")
+    print(f"probability      : {result.probability:.8g}")
+    print(f"standard error   : {result.error:.3g}")
+    return 0
+
+
+def _cmd_crd(args) -> int:
+    from repro import Runtime, confidence_region
+    from repro.datasets import make_synthetic_dataset
+    from repro.excursion import excursion_map
+    from repro.utils.io import save_confidence_region
+    from repro.utils.reporting import ascii_heatmap
+
+    correlation = args.correlation
+    try:
+        correlation = float(correlation)
+    except ValueError:
+        pass
+    dataset = make_synthetic_dataset(correlation, grid_size=args.grid, rng=args.seed)
+    threshold = dataset.default_threshold(args.threshold_quantile)
+    runtime = Runtime(n_workers=args.workers) if args.workers > 1 else None
+    result = confidence_region(
+        dataset.posterior.covariance, dataset.posterior.mean, threshold,
+        method=args.method, accuracy=args.accuracy, n_samples=args.samples,
+        tile_size=max(32, dataset.n // 8), rng=args.seed, runtime=runtime,
+    )
+    alpha = 1.0 - args.confidence
+    print(f"locations             : {dataset.n}")
+    print(f"threshold u           : {threshold:.4f}")
+    print(f"confidence level      : {args.confidence}")
+    print(f"marginal region size  : {int(np.count_nonzero(result.marginal_probabilities >= args.confidence))}")
+    print(f"confidence region size: {result.region_size(alpha)}")
+    if args.map:
+        print()
+        print(ascii_heatmap(excursion_map(dataset.geometry, result, alpha)))
+    if args.save is not None:
+        path = save_confidence_region(result, args.save)
+        print(f"saved result to {path}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.perf import calibrate
+
+    print(calibrate(tile_size=args.tile_size, rank=args.rank))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "mvn":
+        return _cmd_mvn(args)
+    if args.command == "crd":
+        return _cmd_crd(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: parallel tile-based MVN probability
+computation (PMVN, Algorithms 2-3) and the confidence region detection
+driver built on it (Algorithm 1).
+
+Public entry points
+-------------------
+* :func:`~repro.core.api.mvn_probability` — one-call MVN probability with
+  method selection (``"mc"``, ``"sov"``, ``"dense"``, ``"tlr"``).
+* :func:`~repro.core.pmvn.pmvn_dense` / :func:`~repro.core.pmvn.pmvn_tlr` —
+  the tile-parallel SOV integration with a dense or TLR Cholesky factor.
+* :func:`~repro.core.pmvn.pmvn_integrate` — the integration sweep given a
+  pre-computed factor (what Algorithm 1 calls in its inner loop).
+* :class:`~repro.core.crd.ConfidenceRegionResult` and
+  :func:`~repro.core.crd.confidence_region` — Algorithm 1.
+"""
+
+from repro.core.factor import CholeskyFactor, DenseTileFactor, TLRFactor, factorize
+from repro.core.qmc_kernel import qmc_kernel_tile
+from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, PMVNOptions
+from repro.core.crd import (
+    ConfidenceRegionResult,
+    confidence_region,
+    confidence_region_from_posterior,
+    marginal_exceedance,
+)
+from repro.core.api import mvn_probability
+
+__all__ = [
+    "CholeskyFactor",
+    "DenseTileFactor",
+    "TLRFactor",
+    "factorize",
+    "qmc_kernel_tile",
+    "pmvn_dense",
+    "pmvn_tlr",
+    "pmvn_integrate",
+    "PMVNOptions",
+    "ConfidenceRegionResult",
+    "confidence_region",
+    "confidence_region_from_posterior",
+    "marginal_exceedance",
+    "mvn_probability",
+]

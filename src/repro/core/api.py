@@ -1,0 +1,86 @@
+"""Top-level one-call API.
+
+``mvn_probability`` dispatches between the baseline estimators and the
+tile-parallel implementations, so downstream code (and the examples) can
+switch methods with a string.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pmvn import pmvn_dense, pmvn_tlr
+from repro.mvn.mc import mvn_mc
+from repro.mvn.result import MVNResult
+from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
+from repro.runtime import Runtime
+
+__all__ = ["mvn_probability"]
+
+
+def mvn_probability(
+    a,
+    b,
+    sigma,
+    method: str = "dense",
+    n_samples: int = 10_000,
+    mean=0.0,
+    n_workers: int = 1,
+    tile_size: int | None = None,
+    accuracy: float = 1e-3,
+    max_rank: int | None = None,
+    qmc: str = "richtmyer",
+    rng=None,
+    runtime: Runtime | None = None,
+) -> MVNResult:
+    """Estimate the MVN probability ``P(a <= X <= b)`` for ``X ~ N(mean, sigma)``.
+
+    Parameters
+    ----------
+    a, b : array_like (n,)
+        Integration limits; use ``-np.inf`` / ``np.inf`` for one-sided boxes.
+    sigma : array_like (n, n)
+        Covariance matrix.
+    method : {"dense", "tlr", "sov", "sov-seq", "mc"}
+        * ``"dense"`` — tile-parallel PMVN with a dense tiled Cholesky
+          (the paper's reference parallel implementation),
+        * ``"tlr"`` — PMVN with the Tile Low-Rank Cholesky at ``accuracy``,
+        * ``"sov"`` — vectorized single-node Genz SOV baseline,
+        * ``"sov-seq"`` — scalar-loop Genz SOV (slow; testing only),
+        * ``"mc"`` — naive Monte Carlo baseline.
+    n_samples : int
+        Monte Carlo / QMC sample size.
+    n_workers : int
+        Worker threads for the task runtime (ignored by the baselines).
+    tile_size, accuracy, max_rank
+        Tile/TLR settings for the parallel methods.
+    qmc : str
+        QMC sequence for the SOV-based methods.
+    rng : seed or Generator
+        Randomization source.
+    runtime : Runtime, optional
+        Pre-built runtime (overrides ``n_workers``).
+    """
+    method = method.lower()
+    if method in ("mc", "montecarlo"):
+        return mvn_mc(a, b, sigma, n_samples=n_samples, mean=mean, rng=rng)
+    if method in ("sov-seq", "sov_sequential"):
+        return mvn_sov(a, b, sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
+    if method in ("sov", "sov-vectorized", "genz"):
+        return mvn_sov_vectorized(a, b, sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
+    rt = runtime if runtime is not None else (Runtime(n_workers=n_workers) if n_workers > 1 else None)
+    if method in ("dense", "pmvn", "pmvn-dense"):
+        return pmvn_dense(
+            a, b, np.asarray(sigma, dtype=np.float64),
+            n_samples=n_samples, tile_size=tile_size, runtime=rt,
+            mean=mean, qmc=qmc, rng=rng,
+        )
+    if method in ("tlr", "pmvn-tlr"):
+        return pmvn_tlr(
+            a, b, np.asarray(sigma, dtype=np.float64),
+            n_samples=n_samples, tile_size=tile_size, accuracy=accuracy,
+            max_rank=max_rank, runtime=rt, mean=mean, qmc=qmc, rng=rng,
+        )
+    raise ValueError(
+        f"unknown method {method!r}; expected one of 'dense', 'tlr', 'sov', 'sov-seq', 'mc'"
+    )

@@ -1,0 +1,146 @@
+"""Simulated Saudi-Arabia wind-speed dataset (Figures 2-3 substitute).
+
+The paper analyses daily-aggregated wind speeds at 53,362 locations over
+Saudi Arabia (2013-2016) and focuses on July 15, 2015; the station data is
+not redistributable, so this module builds the closest synthetic equivalent
+that exercises the same code path:
+
+* locations on a regular longitude/latitude grid over the Arabian-peninsula
+  bounding box used in the paper's maps (34-56 E, 16-33 N),
+* a smooth, terrain-like mean surface with elevated winds in the north, the
+  east and the south-west (mimicking the mountainous regions highlighted in
+  Figure 2a), with magnitudes in the 2-12 m/s range,
+* a Matérn Gaussian random field fluctuation whose parameters are the ones
+  the paper reports fitting with ExaGeoStat: ``(1, 0.005069, 1.43391)``
+  (variance, range in degrees-normalized units, smoothness) — the range is
+  rescaled to the unit square the same way the paper standardizes longitude/
+  latitude,
+* the paper's post-processing: standardize the chosen day by the long-term
+  mean and standard deviation, so the CRD input is a zero-mean unit-variance
+  field with threshold ``u = 4`` m/s mapped into standardized units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fields.sampling import sample_gaussian_field
+from repro.kernels.covariance import MaternKernel
+from repro.kernels.geometry import Geometry
+from repro.utils.validation import check_positive_int
+
+__all__ = ["WIND_MATERN_THETA", "WindDataset", "make_wind_dataset"]
+
+#: Matérn parameters (sigma^2, range, smoothness) the paper reports for the
+#: standardized July 15, 2015 wind field.
+WIND_MATERN_THETA: tuple[float, float, float] = (1.0, 0.005069, 1.43391)
+
+#: Bounding box of the paper's maps: (lon_min, lon_max, lat_min, lat_max).
+SAUDI_BBOX: tuple[float, float, float, float] = (34.0, 56.0, 16.0, 33.0)
+
+#: Threshold (m/s) used for wind-farm siting, following Chen et al. (2018).
+WIND_THRESHOLD_MS: float = 4.0
+
+
+@dataclass
+class WindDataset:
+    """Simulated wind-speed field with the paper's preprocessing applied."""
+
+    geometry: Geometry
+    wind_speed: np.ndarray          # raw daily wind speed, m/s
+    climatology_mean: float         # long-term mean used for standardization
+    climatology_std: float          # long-term std used for standardization
+    standardized: np.ndarray        # (wind - mean) / std, the CRD input field
+    kernel: MaternKernel            # fitted Matérn kernel on the standardized field
+    threshold_ms: float             # threshold in m/s (4 m/s)
+    lon_lat: np.ndarray             # (n, 2) longitude/latitude of each location
+
+    @property
+    def n(self) -> int:
+        return self.geometry.n
+
+    @property
+    def standardized_threshold(self) -> float:
+        """The m/s threshold expressed in standardized units."""
+        return (self.threshold_ms - self.climatology_mean) / self.climatology_std
+
+
+def _mean_surface(lon: np.ndarray, lat: np.ndarray) -> np.ndarray:
+    """Terrain-like mean wind speed (m/s) over the peninsula.
+
+    Three broad bumps reproduce the qualitative pattern of Figure 2a: higher
+    winds in the north, along the eastern (Gulf) coast and in the
+    south-western mountains, with calmer interior regions.
+    """
+    lon_min, lon_max, lat_min, lat_max = SAUDI_BBOX
+    x = (lon - lon_min) / (lon_max - lon_min)
+    y = (lat - lat_min) / (lat_max - lat_min)
+
+    def bump(cx: float, cy: float, sx: float, sy: float, height: float) -> np.ndarray:
+        return height * np.exp(-(((x - cx) / sx) ** 2 + ((y - cy) / sy) ** 2))
+
+    base = 3.0
+    north = bump(0.45, 0.95, 0.45, 0.25, 5.5)
+    east = bump(0.95, 0.55, 0.22, 0.40, 4.0)
+    southwest = bump(0.12, 0.10, 0.18, 0.22, 5.0)
+    interior_calm = bump(0.55, 0.45, 0.30, 0.25, -1.2)
+    return base + north + east + southwest + interior_calm
+
+
+def make_wind_dataset(
+    grid_nx: int = 40,
+    grid_ny: int = 31,
+    fluctuation_std: float = 1.6,
+    rng: np.random.Generator | int | None = None,
+    nugget: float = 1e-8,
+) -> WindDataset:
+    """Simulate the July 15, 2015 wind field and apply the paper's preprocessing.
+
+    Parameters
+    ----------
+    grid_nx, grid_ny : int
+        Grid resolution over the bounding box (the paper has 53,362 stations;
+        the default 40 x 31 = 1,240 keeps the dense reference tractable in
+        pure Python while preserving the spatial structure).
+    fluctuation_std : float
+        Standard deviation (m/s) of the correlated fluctuation added to the
+        mean surface.
+    """
+    grid_nx = check_positive_int(grid_nx, "grid_nx")
+    grid_ny = check_positive_int(grid_ny, "grid_ny")
+    rng = np.random.default_rng(rng)
+
+    lon_min, lon_max, lat_min, lat_max = SAUDI_BBOX
+    geometry = Geometry.regular_grid(grid_nx, grid_ny, extent=(0.0, 1.0, 0.0, 1.0))
+    lon = lon_min + geometry.locations[:, 0] * (lon_max - lon_min)
+    lat = lat_min + geometry.locations[:, 1] * (lat_max - lat_min)
+    lon_lat = np.column_stack([lon, lat])
+
+    sigma2, range_, smoothness = WIND_MATERN_THETA
+    # The paper's range is tiny relative to its 53K-station density; on the
+    # coarser reproduction grid we keep the same kernel family/smoothness but
+    # scale the range so the field varies over a comparable number of grid
+    # cells (documented substitution, see DESIGN.md).
+    effective_range = max(range_, 1.5 / max(grid_nx, grid_ny))
+    kernel = MaternKernel(sigma2=sigma2, range_=effective_range, smoothness=smoothness)
+
+    fluctuation = sample_gaussian_field(kernel, geometry.locations, nugget=nugget, rng=rng)[:, 0]
+    wind = _mean_surface(lon, lat) + fluctuation_std * fluctuation
+    np.clip(wind, 0.1, None, out=wind)
+
+    climatology_mean = float(wind.mean())
+    climatology_std = float(wind.std(ddof=1))
+    standardized = (wind - climatology_mean) / climatology_std
+
+    return WindDataset(
+        geometry=geometry,
+        wind_speed=wind,
+        climatology_mean=climatology_mean,
+        climatology_std=climatology_std,
+        standardized=standardized,
+        kernel=kernel,
+        threshold_ms=WIND_THRESHOLD_MS,
+        lon_lat=lon_lat,
+    )

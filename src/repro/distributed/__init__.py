@@ -1,0 +1,39 @@
+"""Simulated distributed-memory execution (Cray XC40 substitute).
+
+The paper's distributed experiments (Figure 7, Table III) run on up to 512
+nodes of Shaheen-II; no such machine is available to the reproduction, so
+this subpackage models it:
+
+* :class:`~repro.distributed.cluster.ClusterSpec` — node spec, node count,
+  interconnect latency/bandwidth, 2D process grid.
+* :class:`~repro.distributed.simulator.ClusterSimulator` — a discrete-event
+  list scheduler executing a task graph with per-node core slots,
+  block-cyclic tile ownership and explicit communication delays.  Used for
+  moderate tile counts and for scheduler/tile-size ablations.
+* :mod:`~repro.distributed.pmvn_model` — builders producing the PMVN task
+  graphs (dense and TLR) with costs taken from the calibrated kernel rates,
+  plus a closed-form model for problem sizes whose task graphs are too large
+  to enumerate.  These produce the Figure 7 curves and the Table III
+  speedups.
+"""
+
+from repro.distributed.cluster import ClusterSpec, process_grid
+from repro.distributed.simulator import ClusterSimulator, SimTask, SimulationResult
+from repro.distributed.pmvn_model import (
+    DistributedPMVNModel,
+    build_cholesky_task_graph,
+    build_pmvn_task_graph,
+    simulate_pmvn,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "process_grid",
+    "ClusterSimulator",
+    "SimTask",
+    "SimulationResult",
+    "DistributedPMVNModel",
+    "build_cholesky_task_graph",
+    "build_pmvn_task_graph",
+    "simulate_pmvn",
+]

@@ -1,0 +1,77 @@
+"""Cluster specification and process-grid helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.perf.machines import MachineSpec, get_machine
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ClusterSpec", "process_grid"]
+
+
+def process_grid(n_nodes: int) -> tuple[int, int]:
+    """Near-square ``p x q`` factorization of the node count (p <= q).
+
+    This is the standard choice for 2D block-cyclic distributions: it
+    minimizes the panel-broadcast volume of the tiled Cholesky.
+    """
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    p = int(math.isqrt(n_nodes))
+    while n_nodes % p != 0:
+        p -= 1
+    return p, n_nodes // p
+
+
+@dataclass
+class ClusterSpec:
+    """A homogeneous cluster of ``n_nodes`` identical nodes.
+
+    Attributes
+    ----------
+    n_nodes : int
+        Node count (16 ... 512 in the paper's experiments).
+    node : MachineSpec
+        Per-node machine specification (default: one Shaheen-II node).
+    network_latency_us : float
+        One-way message latency (Cray Aries: ~1.3 us).
+    network_bandwidth_gbs : float
+        Per-node injection bandwidth (Cray Aries: ~10 GB/s usable).
+    blas_efficiency, sweep_efficiency : float
+        Efficiency factors applied to the node peak for the compute-bound
+        (GEMM/POTRF) and the memory/latency-bound (QMC sweep) phases.
+    """
+
+    n_nodes: int
+    node: MachineSpec = field(default_factory=lambda: get_machine("shaheen-xc40-node"))
+    network_latency_us: float = 1.3
+    network_bandwidth_gbs: float = 10.0
+    blas_efficiency: float = 0.55
+    sweep_efficiency: float = 0.12
+
+    def __post_init__(self) -> None:
+        self.n_nodes = check_positive_int(self.n_nodes, "n_nodes")
+        if self.network_latency_us < 0 or self.network_bandwidth_gbs <= 0:
+            raise ValueError("network parameters must be positive")
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        return process_grid(self.n_nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.cores
+
+    def node_gflops(self, efficiency: float | None = None) -> float:
+        eff = self.blas_efficiency if efficiency is None else efficiency
+        return self.node.sustained_gflops(eff)
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Point-to-point transfer time of ``n_bytes`` between two nodes."""
+        return self.network_latency_us * 1e-6 + n_bytes / (self.network_bandwidth_gbs * 1e9)
+
+    def owner(self, i: int, j: int) -> int:
+        """Block-cyclic owner node of tile ``(i, j)``."""
+        p, q = self.grid
+        return (i % p) * q + (j % q)

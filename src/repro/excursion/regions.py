@@ -1,0 +1,111 @@
+"""Connected-region analysis of excursion masks.
+
+The excursion maps of the paper (Figures 1 and 2) visually form a handful of
+contiguous regions (e.g. the mountainous areas in the wind application).
+``label_regions`` extracts those connected components from a boolean mask on
+a regular grid so applications can report *how many* distinct regions were
+detected, their sizes and their bounding boxes — the quantities a wind-farm
+siting study would actually consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.geometry import Geometry
+from repro.utils.validation import ensure_1d
+
+__all__ = ["RegionSummary", "label_regions", "region_summaries"]
+
+
+@dataclass(frozen=True)
+class RegionSummary:
+    """One connected excursion region."""
+
+    label: int
+    size: int
+    bounding_box: tuple[int, int, int, int]   # (row_min, row_max, col_min, col_max)
+    centroid: tuple[float, float]             # (row, col) in grid coordinates
+
+
+def label_regions(mask: np.ndarray, connectivity: int = 4) -> np.ndarray:
+    """Label connected components of a 2-D boolean mask (BFS flood fill).
+
+    Parameters
+    ----------
+    mask : ndarray (rows, cols) of bool
+        Excursion mask (True inside the region).
+    connectivity : {4, 8}
+        4-neighbourhood (edges) or 8-neighbourhood (edges + diagonals).
+
+    Returns
+    -------
+    ndarray of int
+        Same shape as ``mask``; 0 outside regions, 1..K inside region k.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError("label_regions expects a 2-D mask")
+    if connectivity == 4:
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    elif connectivity == 8:
+        offsets = [(di, dj) for di in (-1, 0, 1) for dj in (-1, 0, 1) if (di, dj) != (0, 0)]
+    else:
+        raise ValueError("connectivity must be 4 or 8")
+
+    rows, cols = mask.shape
+    labels = np.zeros((rows, cols), dtype=np.int64)
+    current = 0
+    for i in range(rows):
+        for j in range(cols):
+            if not mask[i, j] or labels[i, j]:
+                continue
+            current += 1
+            queue = deque([(i, j)])
+            labels[i, j] = current
+            while queue:
+                ci, cj = queue.popleft()
+                for di, dj in offsets:
+                    ni, nj = ci + di, cj + dj
+                    if 0 <= ni < rows and 0 <= nj < cols and mask[ni, nj] and not labels[ni, nj]:
+                        labels[ni, nj] = current
+                        queue.append((ni, nj))
+    return labels
+
+
+def region_summaries(
+    mask_or_values: np.ndarray,
+    geometry: Geometry | None = None,
+    connectivity: int = 4,
+    min_size: int = 1,
+) -> list[RegionSummary]:
+    """Summaries of the connected excursion regions, largest first.
+
+    ``mask_or_values`` may be a 2-D mask, or a per-location vector when a
+    grid ``geometry`` is supplied.
+    """
+    arr = np.asarray(mask_or_values)
+    if arr.ndim == 1:
+        if geometry is None or geometry.grid_shape is None:
+            raise ValueError("a grid geometry is required for per-location masks")
+        arr = geometry.as_image(ensure_1d(arr.astype(float), "mask"))
+    labels = label_regions(arr > 0.5, connectivity=connectivity)
+    summaries: list[RegionSummary] = []
+    for label in range(1, labels.max() + 1):
+        idx = np.argwhere(labels == label)
+        if idx.shape[0] < min_size:
+            continue
+        rows, cols = idx[:, 0], idx[:, 1]
+        summaries.append(
+            RegionSummary(
+                label=label,
+                size=int(idx.shape[0]),
+                bounding_box=(int(rows.min()), int(rows.max()), int(cols.min()), int(cols.max())),
+                centroid=(float(rows.mean()), float(cols.mean())),
+            )
+        )
+    summaries.sort(key=lambda s: s.size, reverse=True)
+    return summaries

@@ -1,0 +1,52 @@
+"""Common result type for MVN probability estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MVNResult"]
+
+
+@dataclass
+class MVNResult:
+    """Estimate of an MVN probability with its Monte Carlo error.
+
+    Attributes
+    ----------
+    probability : float
+        The estimated probability ``P(a <= X <= b)``.
+    error : float
+        Estimated standard error of the estimate (one standard deviation of
+        the sample mean across MC/QMC chains).
+    n_samples : int
+        Number of Monte Carlo / quasi-Monte Carlo samples used.
+    dimension : int
+        Dimensionality ``n`` of the MVN problem.
+    method : str
+        Name of the estimator (``"mc"``, ``"sov"``, ``"pmvn-dense"``,
+        ``"pmvn-tlr"``, ...).
+    details : dict
+        Free-form extras (timings, tile sizes, TLR accuracy, ...).
+    """
+
+    probability: float
+    error: float
+    n_samples: int
+    dimension: int
+    method: str = ""
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.probability = float(self.probability)
+        self.error = float(self.error)
+        self.n_samples = int(self.n_samples)
+        self.dimension = int(self.dimension)
+
+    def __float__(self) -> float:
+        return self.probability
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MVNResult(p={self.probability:.6g} +/- {self.error:.2g}, "
+            f"n={self.dimension}, N={self.n_samples}, method={self.method!r})"
+        )

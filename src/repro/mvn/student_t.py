@@ -1,0 +1,107 @@
+"""Multivariate Student-t probabilities via the SOV machinery.
+
+The related work the paper builds on (Cao et al., tlrmvnmvt) computes both
+MVN and MVT probabilities with the same Separation-of-Variables machinery:
+a multivariate Student-t vector with ``nu`` degrees of freedom and scale
+matrix ``Sigma`` can be written as ``X = Z * sqrt(nu / S)`` with
+``Z ~ N(0, Sigma)`` and ``S ~ chi^2_nu`` independent, so
+
+.. math::
+
+    P(a \\le T \\le b)
+      = E_S\\,\\Phi_n\\!\\big(a\\,\\sqrt{S/\\nu},\\; b\\,\\sqrt{S/\\nu};\\; \\Sigma\\big).
+
+The estimator below integrates the chi factor with the same QMC stream as
+the SOV recursion (one extra uniform per sample), which keeps the whole
+computation inside the vectorized sweep.  It serves as the natural extension
+feature of this reproduction and shares all validation infrastructure with
+the MVN path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaincinv
+
+from repro.mvn.result import MVNResult
+from repro.mvn.sov import sov_transform_limits
+from repro.stats.normal import norm_cdf, norm_ppf
+from repro.stats.qmc import qmc_samples
+from repro.utils.validation import check_positive_int
+
+__all__ = ["mvt_sov_vectorized", "chi_quantile"]
+
+
+def chi_quantile(u: np.ndarray, dof: float) -> np.ndarray:
+    """Quantile function of the chi distribution with ``dof`` degrees of freedom.
+
+    Computed through the regularized incomplete gamma inverse:
+    if ``S ~ chi^2_dof`` then ``S = 2 * gammaincinv(dof/2, u)`` and the chi
+    variate is ``sqrt(S)``.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if np.any((u <= 0.0) | (u >= 1.0)):
+        raise ValueError("uniform variates must lie strictly inside (0, 1)")
+    return np.sqrt(2.0 * gammaincinv(dof / 2.0, u))
+
+
+def mvt_sov_vectorized(
+    a,
+    b,
+    sigma,
+    dof: float,
+    n_samples: int = 10_000,
+    mean=0.0,
+    qmc: str = "richtmyer",
+    rng: np.random.Generator | int | None = None,
+) -> MVNResult:
+    """Estimate the multivariate Student-t probability ``P(a <= T <= b)``.
+
+    Parameters
+    ----------
+    a, b : array_like (n,)
+        Integration limits.
+    sigma : array_like (n, n)
+        Scale matrix (positive definite).
+    dof : float
+        Degrees of freedom ``nu``; as ``nu -> inf`` the estimate converges to
+        the MVN probability.
+    n_samples : int
+        QMC sample size.
+    mean : float or array_like
+        Location vector (absorbed into the limits).
+    """
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    a0, b0, factor = sov_transform_limits(a, b, sigma, mean)
+    n = factor.shape[0]
+
+    # one extra QMC dimension drives the chi factor
+    w = qmc_samples(n, n_samples, method=qmc, rng=rng)
+    chi = chi_quantile(w[-1], dof) / np.sqrt(dof)
+
+    a_scaled = np.outer(a0, chi)
+    b_scaled = np.outer(b0, chi)
+    # infinities survive the scaling (0 * inf guarded by where)
+    a_scaled = np.where(np.isinf(a0)[:, None], a0[:, None], a_scaled)
+    b_scaled = np.where(np.isinf(b0)[:, None], b0[:, None], b_scaled)
+
+    y = np.zeros((n, n_samples))
+    prob = np.ones(n_samples)
+    for i in range(n):
+        shift = factor[i, :i] @ y[:i] if i else 0.0
+        ai = (a_scaled[i] - shift) / factor[i, i]
+        bi = (b_scaled[i] - shift) / factor[i, i]
+        phi_a = norm_cdf(ai)
+        phi_b = norm_cdf(bi)
+        width = np.maximum(phi_b - phi_a, 0.0)
+        prob *= width
+        if i < n - 1:
+            y[i] = norm_ppf(phi_a + w[i] * width)
+
+    estimate = float(prob.mean())
+    std_err = float(prob.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0
+    return MVNResult(estimate, std_err, n_samples, n, method="mvt-sov", details={"dof": dof})

@@ -1,0 +1,55 @@
+"""Machine specifications of the paper's testbeds.
+
+Peak rates are nominal double-precision figures (cores x clock x FMA width);
+the performance models scale them by the measured efficiency of the local
+BLAS so the predicted *ratios* (TLR vs dense, node scaling) are anchored in
+reality even though the absolute numbers belong to hardware we do not have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "MACHINES", "get_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory node (or one node of the distributed machine)."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    flops_per_cycle: float          # double-precision flops per core per cycle
+    memory_bandwidth_gbs: float     # aggregate stream bandwidth
+    memory_gb: float
+
+    @property
+    def peak_gflops(self) -> float:
+        """Nominal peak double-precision GFLOP/s of the full node."""
+        return self.cores * self.clock_ghz * self.flops_per_cycle
+
+    def sustained_gflops(self, efficiency: float = 0.6) -> float:
+        """Peak scaled by a BLAS efficiency factor."""
+        if not (0.0 < efficiency <= 1.0):
+            raise ValueError("efficiency must lie in (0, 1]")
+        return self.peak_gflops * efficiency
+
+
+#: The four shared-memory systems of Section V-A plus one Shaheen-II node
+#: (dual-socket 16-core Haswell).
+MACHINES: dict[str, MachineSpec] = {
+    "intel-icelake-56": MachineSpec("56-core Intel Ice Lake", 56, 2.00, 32.0, 380.0, 512.0),
+    "intel-cascadelake-40": MachineSpec("40-core Intel Cascade Lake", 40, 2.30, 32.0, 280.0, 384.0),
+    "amd-milan-64": MachineSpec("64-core AMD Milan", 64, 2.00, 16.0, 400.0, 512.0),
+    "amd-naples-128": MachineSpec("128-core AMD Naples", 128, 2.20, 8.0, 320.0, 512.0),
+    "shaheen-xc40-node": MachineSpec("Cray XC40 Haswell node", 32, 2.30, 16.0, 120.0, 128.0),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by key (case-insensitive)."""
+    key = name.lower()
+    if key not in MACHINES:
+        raise ValueError(f"unknown machine {name!r}; available: {sorted(MACHINES)}")
+    return MACHINES[key]

@@ -1,0 +1,54 @@
+"""Task-based dynamic runtime system (StarPU-like substrate).
+
+The paper's implementation relies on the StarPU dynamic runtime system to
+schedule fine-grained tile tasks (Cholesky panels, GEMM updates, QMC kernels)
+over the cores of a shared-memory node.  This subpackage reproduces the
+programming model in pure Python:
+
+* :class:`~repro.runtime.handle.DataHandle` — registered data with R/W/RW
+  access modes.
+* :class:`~repro.runtime.task.Task` — a unit of work bound to a Python
+  callable and a set of handle accesses.
+* :class:`~repro.runtime.graph.TaskGraph` — the DAG built by
+  *sequential task flow* dependency inference (RAW/WAR/WAW).
+* :class:`~repro.runtime.scheduler.Scheduler` implementations — serial,
+  FIFO, priority and locality-aware ready queues.
+* :class:`~repro.runtime.runtime.Runtime` — the user-facing facade with
+  ``insert_task`` / ``wait_all`` semantics, executing the DAG on a pool of
+  worker threads (NumPy/BLAS kernels release the GIL so tile tasks overlap).
+* :class:`~repro.runtime.trace.ExecutionTrace` — per-task timing records,
+  used to report parallel efficiency and per-phase breakdowns.
+"""
+
+from repro.runtime.handle import AccessMode, DataHandle, READ, WRITE, READWRITE
+from repro.runtime.task import Task, TaskError, TaskState
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    PriorityScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.runtime.runtime import Runtime
+from repro.runtime.trace import ExecutionTrace, TaskRecord
+
+__all__ = [
+    "AccessMode",
+    "DataHandle",
+    "READ",
+    "WRITE",
+    "READWRITE",
+    "Task",
+    "TaskError",
+    "TaskState",
+    "TaskGraph",
+    "Scheduler",
+    "FifoScheduler",
+    "PriorityScheduler",
+    "LocalityScheduler",
+    "make_scheduler",
+    "Runtime",
+    "ExecutionTrace",
+    "TaskRecord",
+]

@@ -1,0 +1,133 @@
+"""Task DAG construction via sequential task flow.
+
+Dependencies between tasks are inferred from the order of submission and the
+declared accesses, exactly like StarPU's *sequential task flow* model:
+
+* **RAW** (read after write): a reader depends on the last writer of the
+  handle.
+* **WAW** (write after write): a writer depends on the previous writer.
+* **WAR** (write after read): a writer depends on all readers since the last
+  writer.
+
+The resulting graph is a DAG by construction (edges always point from an
+earlier to a later submission).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.runtime.handle import DataHandle
+from repro.runtime.task import Task
+
+__all__ = ["TaskGraph"]
+
+
+@dataclass
+class _HandleState:
+    last_writer: Task | None = None
+    readers_since_write: list[Task] = field(default_factory=list)
+
+
+class TaskGraph:
+    """Directed acyclic graph of tasks with dependency inference."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+        self.successors: dict[Task, set[Task]] = defaultdict(set)
+        self.predecessors: dict[Task, set[Task]] = defaultdict(set)
+        self._handle_state: dict[DataHandle, _HandleState] = defaultdict(_HandleState)
+
+    # -- construction -----------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Add a task, inferring dependencies from its declared accesses."""
+        self.tasks.append(task)
+        self.successors.setdefault(task, set())
+        self.predecessors.setdefault(task, set())
+        for handle, mode in task.accesses:
+            state = self._handle_state[handle]
+            if mode.reads and state.last_writer is not None:
+                self._add_edge(state.last_writer, task)
+            if mode.writes:
+                if state.last_writer is not None:
+                    self._add_edge(state.last_writer, task)
+                for reader in state.readers_since_write:
+                    if reader is not task:
+                        self._add_edge(reader, task)
+            # update the handle state after inferring dependencies
+            if mode.writes:
+                state.last_writer = task
+                state.readers_since_write = []
+            if mode.reads and not mode.writes:
+                state.readers_since_write.append(task)
+        return task
+
+    def add_dependency(self, before: Task, after: Task) -> None:
+        """Add an explicit dependency edge (rarely needed)."""
+        self._add_edge(before, after)
+
+    def _add_edge(self, before: Task, after: Task) -> None:
+        if before is after:
+            return
+        self.successors[before].add(after)
+        self.predecessors[after].add(before)
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def in_degree(self, task: Task) -> int:
+        return len(self.predecessors[task])
+
+    def roots(self) -> list[Task]:
+        """Tasks with no predecessors (ready to run immediately)."""
+        return [t for t in self.tasks if not self.predecessors[t]]
+
+    def topological_order(self) -> list[Task]:
+        """Return the tasks in a valid topological order.
+
+        Raises ``ValueError`` if the graph contains a cycle (only possible if
+        explicit dependencies were added incorrectly).
+        """
+        indeg = {t: len(self.predecessors[t]) for t in self.tasks}
+        queue = deque(t for t in self.tasks if indeg[t] == 0)
+        order: list[Task] = []
+        while queue:
+            task = queue.popleft()
+            order.append(task)
+            for succ in self.successors[task]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    queue.append(succ)
+        if len(order) != len(self.tasks):
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def critical_path_length(self, cost=lambda t: max(t.cost, 1.0)) -> float:
+        """Length of the critical path under a per-task cost function.
+
+        Used to report the theoretical lower bound on makespan and to compute
+        the parallel efficiency of a trace.
+        """
+        finish: dict[Task, float] = {}
+        for task in self.topological_order():
+            start = max((finish[p] for p in self.predecessors[task]), default=0.0)
+            finish[task] = start + cost(task)
+        return max(finish.values(), default=0.0)
+
+    def total_work(self, cost=lambda t: max(t.cost, 1.0)) -> float:
+        return sum(cost(t) for t in self.tasks)
+
+    def validate(self) -> None:
+        """Check internal consistency (edges reference known tasks, acyclic)."""
+        known = set(self.tasks)
+        for task, succs in self.successors.items():
+            if task not in known:
+                raise ValueError(f"edge references unknown task {task!r}")
+            for succ in succs:
+                if succ not in known:
+                    raise ValueError(f"edge references unknown task {succ!r}")
+                if task not in self.predecessors[succ]:
+                    raise ValueError("successor/predecessor maps are inconsistent")
+        self.topological_order()

@@ -1,0 +1,86 @@
+"""Data handles and access modes.
+
+A :class:`DataHandle` plays the role of a StarPU data handle: a named piece
+of data (typically a matrix tile) that tasks declare access to.  The runtime
+never copies the payload — handles only carry identity and bookkeeping used
+for dependency inference and locality hints.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Any
+
+__all__ = ["AccessMode", "DataHandle", "READ", "WRITE", "READWRITE"]
+
+_handle_counter = itertools.count()
+_counter_lock = threading.Lock()
+
+
+class AccessMode(enum.Enum):
+    """Declared access of a task to a data handle."""
+
+    READ = "R"
+    WRITE = "W"
+    READWRITE = "RW"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READWRITE)
+
+
+READ = AccessMode.READ
+WRITE = AccessMode.WRITE
+READWRITE = AccessMode.READWRITE
+
+
+class DataHandle:
+    """A registered piece of data tracked by the runtime.
+
+    Parameters
+    ----------
+    data : object
+        Arbitrary payload (typically a NumPy array tile).  The payload can be
+        swapped with :meth:`set` — tasks resolve the payload lazily at
+        execution time so a WRITE task can replace the stored object.
+    name : str
+        Human-readable name used in traces (e.g. ``"Sigma[2,3]"``).
+    home : int, optional
+        Locality hint: the preferred worker (or simulated node) for tasks
+        touching this handle.  Used by the locality-aware scheduler.
+    """
+
+    __slots__ = ("_data", "name", "home", "uid", "_lock")
+
+    def __init__(self, data: Any = None, name: str = "", home: int | None = None) -> None:
+        with _counter_lock:
+            self.uid = next(_handle_counter)
+        self._data = data
+        self.name = name or f"handle{self.uid}"
+        self.home = home
+        self._lock = threading.Lock()
+
+    def get(self) -> Any:
+        """Return the current payload."""
+        with self._lock:
+            return self._data
+
+    def set(self, data: Any) -> None:
+        """Replace the payload (used by tasks with WRITE access)."""
+        with self._lock:
+            self._data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataHandle({self.name!r}, uid={self.uid})"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DataHandle) and other.uid == self.uid

@@ -1,0 +1,161 @@
+"""Ready-task scheduling policies.
+
+StarPU ships several scheduling policies (eager, prio, dmda/locality-aware).
+The runtime here exposes the same choice through small ready-queue classes:
+
+* :class:`FifoScheduler` — eager first-come-first-served queue.
+* :class:`PriorityScheduler` — highest ``Task.priority`` first, ties broken by
+  submission order (keeps the Cholesky critical path moving).
+* :class:`LocalityScheduler` — priority queue that additionally prefers tasks
+  whose written handles have a ``home`` matching the requesting worker,
+  modelling cache/NUMA affinity.
+
+All schedulers are thread-safe: the worker pool pops tasks concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+
+from repro.runtime.task import Task
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "PriorityScheduler",
+    "LocalityScheduler",
+    "make_scheduler",
+]
+
+
+class Scheduler:
+    """Base class for ready-task queues."""
+
+    def push(self, task: Task) -> None:
+        raise NotImplementedError
+
+    def pop(self, worker: int = 0) -> Task | None:
+        """Pop the next task for ``worker``; ``None`` if the queue is empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """Eager FIFO policy (StarPU's ``eager``)."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Task] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, task: Task) -> None:
+        with self._lock:
+            self._queue.append(task)
+
+    def pop(self, worker: int = 0) -> Task | None:
+        with self._lock:
+            if not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+
+class PriorityScheduler(Scheduler):
+    """Highest-priority-first policy (StarPU's ``prio``)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Task]] = []
+        self._lock = threading.Lock()
+        self._tie = itertools.count()
+
+    def push(self, task: Task) -> None:
+        with self._lock:
+            heapq.heappush(self._heap, (-task.priority, next(self._tie), task))
+
+    def pop(self, worker: int = 0) -> Task | None:
+        with self._lock:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+class LocalityScheduler(Scheduler):
+    """Priority policy with per-worker affinity queues.
+
+    A task is routed to the queue of the ``home`` worker of its first written
+    handle (when set).  Workers prefer their own queue and steal from a shared
+    queue — a lightweight approximation of StarPU's data-aware policies.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self._local: list[list[tuple[int, int, Task]]] = [[] for _ in range(n_workers)]
+        self._shared: list[tuple[int, int, Task]] = []
+        self._lock = threading.Lock()
+        self._tie = itertools.count()
+
+    def _target_queue(self, task: Task) -> int | None:
+        for handle in task.written_handles():
+            if handle.home is not None:
+                return handle.home % self.n_workers
+        return None
+
+    def push(self, task: Task) -> None:
+        entry = (-task.priority, next(self._tie), task)
+        target = self._target_queue(task)
+        with self._lock:
+            if target is None:
+                heapq.heappush(self._shared, entry)
+            else:
+                heapq.heappush(self._local[target], entry)
+
+    def pop(self, worker: int = 0) -> Task | None:
+        worker = worker % self.n_workers
+        with self._lock:
+            if self._local[worker]:
+                return heapq.heappop(self._local[worker])[2]
+            if self._shared:
+                return heapq.heappop(self._shared)[2]
+            # steal from the most loaded peer
+            victim = max(range(self.n_workers), key=lambda w: len(self._local[w]))
+            if self._local[victim]:
+                return heapq.heappop(self._local[victim])[2]
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shared) + sum(len(q) for q in self._local)
+
+
+def make_scheduler(policy: str, n_workers: int = 1) -> Scheduler:
+    """Factory mapping a policy name to a scheduler instance.
+
+    Parameters
+    ----------
+    policy : {"fifo", "eager", "prio", "priority", "locality", "dmda"}
+        Scheduling policy name.  ``eager`` is an alias of ``fifo``; ``dmda``
+        is an alias of ``locality`` to mirror the StarPU naming.
+    n_workers : int
+        Worker count, required by the locality policy.
+    """
+    policy = policy.lower()
+    if policy in ("fifo", "eager"):
+        return FifoScheduler()
+    if policy in ("prio", "priority"):
+        return PriorityScheduler()
+    if policy in ("locality", "dmda", "ws"):
+        return LocalityScheduler(n_workers)
+    raise ValueError(f"unknown scheduling policy {policy!r}")

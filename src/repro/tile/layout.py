@@ -1,0 +1,190 @@
+"""Tile matrix descriptors.
+
+A :class:`TileMatrix` is the Python analogue of a Chameleon descriptor: an
+``m x n`` matrix partitioned into ``nb x nb`` tiles (edge tiles may be
+smaller), each tile stored as an independent C-contiguous NumPy array.  Tiles
+are addressed by block indices ``(i, j)``.
+
+For the distributed-memory simulation the descriptor also computes the
+standard 2D block-cyclic owner of each tile over a ``p x q`` process grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, ensure_2d
+
+__all__ = ["TileMatrix", "tile_ranges"]
+
+
+def tile_ranges(extent: int, tile_size: int) -> list[tuple[int, int]]:
+    """Half-open index ranges of each tile along one dimension."""
+    extent = check_positive_int(extent, "extent")
+    tile_size = check_positive_int(tile_size, "tile_size")
+    return [(start, min(start + tile_size, extent)) for start in range(0, extent, tile_size)]
+
+
+class TileMatrix:
+    """A dense matrix stored tile by tile.
+
+    Parameters
+    ----------
+    m, n : int
+        Global matrix dimensions.
+    tile_size : int
+        Tile extent ``nb`` (edge tiles are truncated).
+    lower_only : bool
+        When true only tiles with ``i >= j`` are stored — the layout used for
+        symmetric covariance matrices and their Cholesky factors.  Reading an
+        upper tile of a ``lower_only`` matrix raises ``KeyError``.
+    """
+
+    def __init__(self, m: int, n: int, tile_size: int, lower_only: bool = False) -> None:
+        self.m = check_positive_int(m, "m")
+        self.n = check_positive_int(n, "n")
+        self.tile_size = check_positive_int(tile_size, "tile_size")
+        self.lower_only = bool(lower_only)
+        self.row_ranges = tile_ranges(self.m, self.tile_size)
+        self.col_ranges = tile_ranges(self.n, self.tile_size)
+        self._tiles: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tile_size: int, lower_only: bool = False) -> "TileMatrix":
+        """Partition a dense array into tiles (copies the data)."""
+        dense = ensure_2d(dense, "matrix")
+        out = cls(dense.shape[0], dense.shape[1], tile_size, lower_only=lower_only)
+        for i, (r0, r1) in enumerate(out.row_ranges):
+            for j, (c0, c1) in enumerate(out.col_ranges):
+                if lower_only and j > i:
+                    continue
+                # always copy: set_tile stores the array as-is and downstream
+                # factorizations may mutate tiles in place
+                out.set_tile(i, j, dense[r0:r1, c0:c1].copy())
+        return out
+
+    @classmethod
+    def zeros(cls, m: int, n: int, tile_size: int, lower_only: bool = False) -> "TileMatrix":
+        out = cls(m, n, tile_size, lower_only=lower_only)
+        for i in range(out.mt):
+            for j in range(out.nt):
+                if lower_only and j > i:
+                    continue
+                out.set_tile(i, j, np.zeros(out.tile_shape(i, j)))
+        return out
+
+    @classmethod
+    def from_generator(cls, m: int, n: int, tile_size: int, generator, lower_only: bool = False) -> "TileMatrix":
+        """Build a tile matrix by calling ``generator(i, j, row_range, col_range)`` per tile.
+
+        This mirrors the Chameleon/HiCMA matrix-generation codelets that
+        assemble covariance tiles directly in tile layout without ever
+        forming the dense matrix.
+        """
+        out = cls(m, n, tile_size, lower_only=lower_only)
+        for i, rr in enumerate(out.row_ranges):
+            for j, cr in enumerate(out.col_ranges):
+                if lower_only and j > i:
+                    continue
+                tile = np.ascontiguousarray(np.asarray(generator(i, j, rr, cr), dtype=np.float64))
+                expected = (rr[1] - rr[0], cr[1] - cr[0])
+                if tile.shape != expected:
+                    raise ValueError(f"generator returned shape {tile.shape} for tile ({i},{j}), expected {expected}")
+                out.set_tile(i, j, tile)
+        return out
+
+    # -- basic queries -----------------------------------------------------------
+    @property
+    def mt(self) -> int:
+        """Number of tile rows."""
+        return len(self.row_ranges)
+
+    @property
+    def nt(self) -> int:
+        """Number of tile columns."""
+        return len(self.col_ranges)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.m, self.n)
+
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
+        r0, r1 = self.row_ranges[i]
+        c0, c1 = self.col_ranges[j]
+        return (r1 - r0, c1 - c0)
+
+    def _check_index(self, i: int, j: int) -> None:
+        if not (0 <= i < self.mt and 0 <= j < self.nt):
+            raise IndexError(f"tile index ({i}, {j}) out of range for {self.mt} x {self.nt} tiles")
+        if self.lower_only and j > i:
+            raise KeyError(f"tile ({i}, {j}) is in the unstored upper triangle")
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """Return tile ``(i, j)`` (the stored array, not a copy)."""
+        self._check_index(i, j)
+        return self._tiles[(i, j)]
+
+    def set_tile(self, i: int, j: int, tile: np.ndarray) -> None:
+        self._check_index(i, j)
+        expected = self.tile_shape(i, j)
+        tile = np.ascontiguousarray(tile, dtype=np.float64)
+        if tile.shape != expected:
+            raise ValueError(f"tile ({i},{j}) must have shape {expected}, got {tile.shape}")
+        self._tiles[(i, j)] = tile
+
+    def has_tile(self, i: int, j: int) -> bool:
+        return (i, j) in self._tiles
+
+    def tiles(self):
+        """Iterate over ``(i, j, tile)`` for all stored tiles."""
+        for (i, j), tile in sorted(self._tiles.items()):
+            yield i, j, tile
+
+    # -- conversions -------------------------------------------------------------
+    def to_dense(self, symmetrize: bool = False) -> np.ndarray:
+        """Assemble the dense matrix.
+
+        For ``lower_only`` storage, ``symmetrize=True`` mirrors the lower
+        triangle into the upper one (covariance matrices); with the default
+        the upper triangle is left at zero (Cholesky factors).
+        """
+        out = np.zeros((self.m, self.n))
+        for (i, j), tile in self._tiles.items():
+            r0, r1 = self.row_ranges[i]
+            c0, c1 = self.col_ranges[j]
+            out[r0:r1, c0:c1] = tile
+            if self.lower_only and symmetrize and i != j:
+                out[c0:c1, r0:r1] = tile.T
+        return out
+
+    def copy(self) -> "TileMatrix":
+        out = TileMatrix(self.m, self.n, self.tile_size, lower_only=self.lower_only)
+        for (i, j), tile in self._tiles.items():
+            out.set_tile(i, j, tile.copy())
+        return out
+
+    # -- distribution ------------------------------------------------------------
+    def block_cyclic_owner(self, i: int, j: int, p: int, q: int) -> int:
+        """Rank owning tile ``(i, j)`` in a standard 2D block-cyclic layout."""
+        if p <= 0 or q <= 0:
+            raise ValueError("process grid dimensions must be positive")
+        return (i % p) * q + (j % q)
+
+    def owner_map(self, p: int, q: int) -> np.ndarray:
+        """Owner rank of every tile as an ``(mt, nt)`` integer array."""
+        owners = np.full((self.mt, self.nt), -1, dtype=np.int64)
+        for i in range(self.mt):
+            for j in range(self.nt):
+                if self.lower_only and j > i:
+                    continue
+                owners[i, j] = self.block_cyclic_owner(i, j, p, q)
+        return owners
+
+    def memory_bytes(self) -> int:
+        """Total bytes of stored tile payloads."""
+        return sum(tile.nbytes for tile in self._tiles.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "lower" if self.lower_only else "full"
+        return f"TileMatrix({self.m}x{self.n}, nb={self.tile_size}, {kind}, {len(self._tiles)} tiles)"

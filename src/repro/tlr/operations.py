@@ -1,0 +1,85 @@
+"""TLR matrix operations beyond the Cholesky factorization.
+
+These are the pieces a downstream user of the TLR format needs once the
+factor exists: applying the compressed matrix or factor to vectors/blocks and
+solving triangular systems with a TLR factor (used e.g. to compute
+log-likelihood quadratic forms without decompressing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.tlr.matrix import TLRMatrix
+from repro.utils.validation import ensure_1d, ensure_2d
+
+__all__ = ["tlr_matvec", "tlr_matmat", "tlr_lower_solve", "tlr_quadratic_form"]
+
+
+def tlr_matmat(matrix: TLRMatrix, x: np.ndarray, lower_factor: bool = False) -> np.ndarray:
+    """Product ``A @ X`` for a TLR matrix (symmetric) or TLR lower factor.
+
+    Parameters
+    ----------
+    matrix : TLRMatrix
+        Symmetric TLR matrix, or a TLR Cholesky factor when
+        ``lower_factor=True`` (strictly-upper blocks are then treated as
+        zero and diagonal blocks as lower-triangular).
+    x : ndarray (n, k)
+        Dense block to multiply.
+    """
+    x = ensure_2d(x, "x")
+    if x.shape[0] != matrix.n:
+        raise ValueError(f"x has {x.shape[0]} rows, matrix is {matrix.n}x{matrix.n}")
+    out = np.zeros((matrix.n, x.shape[1]))
+    for i, (r0, r1) in enumerate(matrix.ranges):
+        diag = matrix.diagonal[i]
+        diag_block = np.tril(diag) if lower_factor else diag
+        out[r0:r1] += diag_block @ x[r0:r1]
+        for j, (c0, c1) in enumerate(matrix.ranges[:i]):
+            tile = matrix.offdiag[(i, j)]
+            if tile.rank:
+                out[r0:r1] += tile.u @ (tile.v.T @ x[c0:c1])
+                if not lower_factor:
+                    out[c0:c1] += tile.v @ (tile.u.T @ x[r0:r1])
+    return out
+
+
+def tlr_matvec(matrix: TLRMatrix, x: np.ndarray, lower_factor: bool = False) -> np.ndarray:
+    """Matrix-vector product ``A @ x`` (see :func:`tlr_matmat`)."""
+    x = ensure_1d(x, "x")
+    return tlr_matmat(matrix, x[:, None], lower_factor=lower_factor)[:, 0]
+
+
+def tlr_lower_solve(factor: TLRMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L x = rhs`` where ``L`` is a TLR Cholesky factor.
+
+    Block forward substitution: off-diagonal updates are applied in low-rank
+    form (``U (V^T x)``), diagonal blocks are dense triangular solves.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    vector = rhs.ndim == 1
+    x = ensure_2d(rhs.reshape(-1, 1) if vector else rhs, "rhs").copy()
+    if x.shape[0] != factor.n:
+        raise ValueError(f"rhs has {x.shape[0]} rows, factor is {factor.n}x{factor.n}")
+    for i, (r0, r1) in enumerate(factor.ranges):
+        for j, (c0, c1) in enumerate(factor.ranges[:i]):
+            tile = factor.offdiag[(i, j)]
+            if tile.rank:
+                x[r0:r1] -= tile.u @ (tile.v.T @ x[c0:c1])
+        x[r0:r1] = solve_triangular(
+            np.tril(factor.diagonal[i]), x[r0:r1], lower=True, check_finite=False
+        )
+    return x[:, 0] if vector else x
+
+
+def tlr_quadratic_form(factor: TLRMatrix, z: np.ndarray) -> float:
+    """Quadratic form ``z^T Sigma^{-1} z`` given the TLR Cholesky factor of Sigma.
+
+    Computed as ``||L^{-1} z||^2`` — the building block of the Gaussian
+    log-likelihood the paper's ExaGeoStat pipeline evaluates at scale.
+    """
+    z = ensure_1d(z, "z")
+    w = tlr_lower_solve(factor, z)
+    return float(w @ w)

@@ -1,0 +1,103 @@
+"""Serialization of the library's heavier artifacts.
+
+Confidence-region sweeps over hundreds of thousands of locations are
+expensive; applications typically compute them once and then explore the
+results (different confidence levels, maps, region summaries) offline.
+These helpers persist :class:`~repro.core.crd.ConfidenceRegionResult` objects
+and :class:`~repro.tlr.matrix.TLRMatrix` containers as ``.npz`` archives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.crd import ConfidenceRegionResult
+from repro.tlr.compression import LowRankTile
+from repro.tlr.matrix import TLRMatrix
+
+__all__ = [
+    "save_confidence_region",
+    "load_confidence_region",
+    "save_tlr_matrix",
+    "load_tlr_matrix",
+]
+
+
+def save_confidence_region(result: ConfidenceRegionResult, path: str | Path) -> Path:
+    """Persist a confidence-region result to a ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    details = result.details or {}
+    np.savez_compressed(
+        path,
+        confidence_function=result.confidence_function,
+        marginal_probabilities=result.marginal_probabilities,
+        order=result.order,
+        threshold=np.asarray(result.threshold),
+        method=np.asarray(result.method),
+        prefix_probabilities=np.asarray(details.get("prefix_probabilities", np.zeros(0))),
+        prefix_errors=np.asarray(details.get("prefix_errors", np.zeros(0))),
+        n_samples=np.asarray(details.get("n_samples", 0)),
+    )
+    return path
+
+
+def load_confidence_region(path: str | Path) -> ConfidenceRegionResult:
+    """Load a confidence-region result saved by :func:`save_confidence_region`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        details = {
+            "prefix_probabilities": archive["prefix_probabilities"],
+            "prefix_errors": archive["prefix_errors"],
+            "n_samples": int(archive["n_samples"]),
+            "loaded_from": str(path),
+        }
+        return ConfidenceRegionResult(
+            confidence_function=archive["confidence_function"],
+            marginal_probabilities=archive["marginal_probabilities"],
+            order=archive["order"],
+            threshold=float(archive["threshold"]),
+            method=str(archive["method"]),
+            details=details,
+        )
+
+
+def save_tlr_matrix(matrix: TLRMatrix, path: str | Path) -> Path:
+    """Persist a TLR matrix (dense diagonal + U/V factors) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {
+        "n": np.asarray(matrix.n),
+        "tile_size": np.asarray(matrix.tile_size),
+        "accuracy": np.asarray(matrix.accuracy),
+        "max_rank": np.asarray(-1 if matrix.max_rank is None else matrix.max_rank),
+    }
+    for i, tile in matrix.diagonal.items():
+        payload[f"diag_{i}"] = tile
+    for (i, j), tile in matrix.offdiag.items():
+        payload[f"u_{i}_{j}"] = tile.u
+        payload[f"v_{i}_{j}"] = tile.v
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_tlr_matrix(path: str | Path) -> TLRMatrix:
+    """Load a TLR matrix saved by :func:`save_tlr_matrix`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        max_rank = int(archive["max_rank"])
+        matrix = TLRMatrix(
+            int(archive["n"]),
+            int(archive["tile_size"]),
+            float(archive["accuracy"]),
+            None if max_rank < 0 else max_rank,
+        )
+        for key in archive.files:
+            if key.startswith("diag_"):
+                matrix.diagonal[int(key[5:])] = archive[key]
+            elif key.startswith("u_"):
+                _, i, j = key.split("_")
+                matrix.offdiag[(int(i), int(j))] = LowRankTile(
+                    archive[key], archive[f"v_{i}_{j}"]
+                )
+        return matrix

@@ -1,0 +1,130 @@
+"""Plain-text reporting helpers for benchmark and example output.
+
+matplotlib is not available in the reproduction environment, so every
+"figure" of the paper is emitted as an aligned ASCII table (and optionally a
+CSV file) with the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_seconds", "format_si", "ascii_heatmap"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering of a duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{secs:04.1f}s"
+
+
+def format_si(value: float) -> str:
+    """Format a count with SI suffixes (1.2K, 3.4M, ...)."""
+    if value == 0:
+        return "0"
+    magnitude = int(math.floor(math.log10(abs(value)) / 3))
+    magnitude = max(0, min(magnitude, 4))
+    suffix = ["", "K", "M", "G", "T"][magnitude]
+    scaled = value / (1000.0 ** magnitude)
+    if magnitude == 0:
+        return f"{value:g}"
+    return f"{scaled:.3g}{suffix}"
+
+
+@dataclass
+class Table:
+    """A minimal column-aligned table with CSV export.
+
+    Examples
+    --------
+    >>> t = Table(["dim", "time"], title="demo")
+    >>> t.add_row([100, 0.5])
+    >>> "100" in t.render()
+    True
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        row = list(row)
+        if len(row) != len(self.columns):
+            raise ValueError(f"row has {len(row)} entries, expected {len(self.columns)}")
+        self.rows.append(row)
+
+    def _cell(self, value: object) -> str:
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+                return f"{value:.4e}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def render(self) -> str:
+        cells = [[self._cell(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(f"== {self.title} ==\n")
+        header = "  ".join(str(c).ljust(widths[j]) for j, c in enumerate(self.columns))
+        out.write(header + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in cells:
+            out.write("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def ascii_heatmap(values, levels: str = " .:-=+*#%@", width: int | None = None) -> str:
+    """Render a 2-D array as an ASCII heat map (used for excursion maps).
+
+    Values are linearly binned into ``levels`` characters; NaNs render as a
+    space.  The output is row-major with the first row of the array on top.
+    """
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D array")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return "\n".join(" " * arr.shape[1] for _ in range(arr.shape[0]))
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    nlev = len(levels)
+    lines = []
+    for row in arr:
+        chars = []
+        for v in row:
+            if not np.isfinite(v):
+                chars.append(" ")
+            else:
+                idx = int((v - lo) / span * (nlev - 1) + 0.5)
+                chars.append(levels[min(max(idx, 0), nlev - 1)])
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Wall-clock timing helpers.
+
+The performance experiments (Table II, Figures 4, 6, 7) need consistent
+timing of individual phases (covariance generation, Cholesky factorization,
+QMC sweep).  ``Timer`` is a context manager measuring one region, and
+``TimingRegistry`` accumulates named regions so the benchmark harness can
+print per-phase breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "TimingRegistry", "timed"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self.start is not None
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class _Stat:
+    total: float = 0.0
+    count: int = 0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TimingRegistry:
+    """Accumulates named timing regions.
+
+    Used by the PMVN driver and the benchmark harness to report the time
+    spent in Cholesky factorization vs the QMC sweep, mirroring the paper's
+    discussion of which phase dominates in dense vs TLR runs.
+    """
+
+    stats: dict[str, _Stat] = field(default_factory=lambda: defaultdict(_Stat))
+
+    @contextmanager
+    def region(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stats[name].add(time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stats[name].add(seconds)
+
+    def total(self, name: str) -> float:
+        return self.stats[name].total if name in self.stats else 0.0
+
+    def mean(self, name: str) -> float:
+        return self.stats[name].mean if name in self.stats else 0.0
+
+    def count(self, name: str) -> int:
+        return self.stats[name].count if name in self.stats else 0
+
+    def names(self) -> list[str]:
+        return sorted(self.stats)
+
+    def merge(self, other: "TimingRegistry") -> None:
+        for name, stat in other.stats.items():
+            agg = self.stats[name]
+            agg.total += stat.total
+            agg.count += stat.count
+            agg.minimum = min(agg.minimum, stat.minimum)
+            agg.maximum = max(agg.maximum, stat.maximum)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "total": stat.total,
+                "count": float(stat.count),
+                "mean": stat.mean,
+                "min": stat.minimum if stat.count else 0.0,
+                "max": stat.maximum,
+            }
+            for name, stat in self.stats.items()
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = ["region                          total(s)   calls    mean(s)"]
+        for name in self.names():
+            stat = self.stats[name]
+            lines.append(f"{name:<30s} {stat.total:10.4f} {stat.count:7d} {stat.mean:10.4f}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(registry: TimingRegistry | None, name: str):
+    """Time a region into ``registry`` if one is provided, else no-op."""
+    if registry is None:
+        yield
+    else:
+        with registry.region(name):
+            yield

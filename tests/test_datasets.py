@@ -1,0 +1,132 @@
+"""Tests for the synthetic correlation suites and the simulated wind dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CORRELATION_LEVELS,
+    WIND_MATERN_THETA,
+    make_correlation_suite,
+    make_synthetic_dataset,
+    make_wind_dataset,
+)
+from repro.datasets.wind import SAUDI_BBOX, WIND_THRESHOLD_MS
+
+
+class TestSyntheticDataset:
+    def test_correlation_levels_match_paper(self):
+        assert CORRELATION_LEVELS == {"weak": 0.033, "medium": 0.1, "strong": 0.234}
+
+    def test_dataset_shapes(self):
+        ds = make_synthetic_dataset("weak", grid_size=10, rng=0)
+        assert ds.n == 100
+        assert ds.latent_field.shape == (100,)
+        assert ds.posterior.mean.shape == (100,)
+        assert ds.posterior.covariance.shape == (100, 100)
+        assert ds.prior_covariance.shape == (100, 100)
+
+    def test_observed_fraction(self):
+        ds = make_synthetic_dataset("medium", grid_size=12, observed_fraction=0.25, rng=0)
+        assert ds.observed_indices.shape[0] == round(0.25 * 144)
+        assert np.unique(ds.observed_indices).size == ds.observed_indices.size
+
+    def test_posterior_reduces_uncertainty_at_observed_locations(self):
+        ds = make_synthetic_dataset("medium", grid_size=10, rng=1)
+        prior_var = np.diag(ds.prior_covariance)
+        post_var = np.diag(ds.posterior.covariance)
+        assert np.all(post_var <= prior_var + 1e-10)
+        assert post_var[ds.observed_indices].mean() < prior_var[ds.observed_indices].mean()
+
+    def test_posterior_mean_correlates_with_latent(self):
+        ds = make_synthetic_dataset("strong", grid_size=12, rng=2)
+        corr = np.corrcoef(ds.posterior.mean, ds.latent_field)[0, 1]
+        assert corr > 0.5
+
+    def test_explicit_range_value(self):
+        ds = make_synthetic_dataset(0.07, grid_size=8, rng=0)
+        assert ds.kernel.range_ == pytest.approx(0.07)
+        assert ds.name == "range=0.07"
+
+    def test_default_threshold_quantile(self):
+        ds = make_synthetic_dataset("weak", grid_size=8, rng=0)
+        u = ds.default_threshold(0.8)
+        assert np.mean(ds.latent_field > u) == pytest.approx(0.2, abs=0.05)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_dataset("extreme", grid_size=8)
+
+    def test_invalid_fraction_and_noise(self):
+        with pytest.raises(ValueError):
+            make_synthetic_dataset("weak", grid_size=8, observed_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_synthetic_dataset("weak", grid_size=8, noise_std=0.0)
+
+    def test_reproducible_with_seed(self):
+        a = make_synthetic_dataset("medium", grid_size=8, rng=123)
+        b = make_synthetic_dataset("medium", grid_size=8, rng=123)
+        np.testing.assert_allclose(a.latent_field, b.latent_field)
+        np.testing.assert_allclose(a.posterior.mean, b.posterior.mean)
+
+    def test_suite_contains_all_levels(self):
+        suite = make_correlation_suite(grid_size=8, rng=0)
+        assert set(suite) == {"weak", "medium", "strong"}
+        ranges = [suite[k].kernel.range_ for k in ("weak", "medium", "strong")]
+        assert ranges == sorted(ranges)
+
+
+class TestWindDataset:
+    def test_paper_constants(self):
+        assert WIND_MATERN_THETA == (1.0, 0.005069, 1.43391)
+        assert WIND_THRESHOLD_MS == 4.0
+        lon_min, lon_max, lat_min, lat_max = SAUDI_BBOX
+        assert lon_min < lon_max and lat_min < lat_max
+
+    def test_dataset_shapes_and_ranges(self):
+        ds = make_wind_dataset(grid_nx=20, grid_ny=15, rng=0)
+        assert ds.n == 300
+        assert ds.wind_speed.shape == (300,)
+        assert ds.lon_lat.shape == (300, 2)
+        assert ds.wind_speed.min() > 0.0
+        assert ds.wind_speed.max() < 20.0
+
+    def test_standardization(self):
+        ds = make_wind_dataset(grid_nx=20, grid_ny=15, rng=1)
+        assert ds.standardized.mean() == pytest.approx(0.0, abs=1e-10)
+        assert ds.standardized.std(ddof=1) == pytest.approx(1.0, abs=1e-10)
+        # threshold mapping is consistent
+        back = ds.standardized_threshold * ds.climatology_std + ds.climatology_mean
+        assert back == pytest.approx(ds.threshold_ms)
+
+    def test_lon_lat_inside_bbox(self):
+        ds = make_wind_dataset(grid_nx=10, grid_ny=8, rng=0)
+        lon_min, lon_max, lat_min, lat_max = SAUDI_BBOX
+        assert ds.lon_lat[:, 0].min() >= lon_min and ds.lon_lat[:, 0].max() <= lon_max
+        assert ds.lon_lat[:, 1].min() >= lat_min and ds.lon_lat[:, 1].max() <= lat_max
+
+    def test_spatial_structure_present(self):
+        """Neighbouring locations must be more similar than distant ones."""
+        ds = make_wind_dataset(grid_nx=20, grid_ny=15, rng=2)
+        img = ds.geometry.as_image(ds.wind_speed)
+        horizontal_diff = np.abs(np.diff(img, axis=1)).mean()
+        shuffled = np.random.default_rng(0).permutation(ds.wind_speed)
+        shuffled_diff = np.abs(np.diff(ds.geometry.as_image(shuffled), axis=1)).mean()
+        assert horizontal_diff < shuffled_diff
+
+    def test_windy_regions_match_design(self):
+        """The simulated mean surface has elevated winds in the north and the
+        south-west, as in the paper's Figure 2a."""
+        ds = make_wind_dataset(grid_nx=30, grid_ny=24, rng=3)
+        img = ds.geometry.as_image(ds.wind_speed)
+        north = img[-5:, :].mean()       # top rows = high latitude
+        interior = img[8:14, 12:20].mean()
+        assert north > interior
+
+    def test_kernel_family(self):
+        ds = make_wind_dataset(grid_nx=10, grid_ny=8, rng=0)
+        assert ds.kernel.smoothness == pytest.approx(1.43391)
+
+    def test_reproducibility(self):
+        a = make_wind_dataset(grid_nx=12, grid_ny=10, rng=7)
+        b = make_wind_dataset(grid_nx=12, grid_ny=10, rng=7)
+        np.testing.assert_allclose(a.wind_speed, b.wind_speed)

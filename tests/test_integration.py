@@ -1,0 +1,114 @@
+"""End-to-end integration tests covering the paper's full pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import confidence_region
+from repro.datasets import make_synthetic_dataset, make_wind_dataset
+from repro.excursion import compare_confidence_functions, excursion_map, mc_validate_regions, region_overlap
+from repro.runtime import Runtime
+from repro.stats import fit_kernel
+
+
+class TestSyntheticPipeline:
+    """The Figure 1 pipeline at reduced size: data -> posterior -> CRD -> validation."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_synthetic_dataset("medium", grid_size=12, rng=0)
+
+    @pytest.fixture(scope="class")
+    def crd_results(self, dataset):
+        u = dataset.default_threshold(0.5)
+        dense = confidence_region(
+            dataset.posterior.covariance, dataset.posterior.mean, u,
+            method="dense", n_samples=4000, tile_size=48, rng=3,
+        )
+        tlr = confidence_region(
+            dataset.posterior.covariance, dataset.posterior.mean, u,
+            method="tlr", accuracy=1e-3, n_samples=4000, tile_size=48, rng=3,
+        )
+        return u, dense, tlr
+
+    def test_joint_region_smaller_than_marginal_region(self, dataset, crd_results):
+        """The paper's key qualitative point: the joint (MVN-based) confidence
+        region is a subset of the marginal-probability region."""
+        _, dense, _ = crd_results
+        marginal_region = dense.marginal_probabilities >= 0.75
+        joint_region = dense.excursion_set(alpha=0.25)
+        assert joint_region.sum() <= marginal_region.sum()
+        assert np.all(marginal_region[joint_region])
+
+    def test_mc_validation_consistent(self, dataset, crd_results):
+        _, dense, _ = crd_results
+        val = mc_validate_regions(dense, dataset.posterior.covariance, dataset.posterior.mean,
+                                  n_samples=6000, rng=1)
+        nonempty = [i for i, lvl in enumerate(val.levels) if dense.region_size(1 - lvl) > 0]
+        # detected regions never violate their confidence level beyond MC noise
+        assert np.all(val.differences[nonempty] <= 0.03)
+
+    def test_dense_tlr_agreement(self, crd_results):
+        _, dense, tlr = crd_results
+        cmp = compare_confidence_functions(dense, tlr)
+        assert cmp["max_pointwise_difference"] < 5e-3
+        overlap = region_overlap(dense.excursion_set(0.25), tlr.excursion_set(0.25))
+        assert overlap["jaccard"] > 0.9 or overlap["size_a"] == 0
+
+    def test_excursion_map_renderable(self, dataset, crd_results):
+        _, dense, _ = crd_results
+        img = excursion_map(dataset.geometry, dense, alpha=0.25)
+        assert img.shape == dataset.geometry.grid_shape
+
+
+class TestWindPipeline:
+    """The Figure 2/3 pipeline at reduced size: simulate -> standardize -> MLE -> CRD."""
+
+    @pytest.fixture(scope="class")
+    def wind(self):
+        return make_wind_dataset(grid_nx=14, grid_ny=10, rng=5)
+
+    def test_mle_fits_reasonable_parameters(self, wind):
+        fit = fit_kernel(
+            wind.geometry.locations, wind.standardized, family="matern",
+            fixed_smoothness=1.43391, max_iterations=40,
+        )
+        assert fit.theta[0] > 0.05          # variance
+        assert 0.001 < fit.theta[1] < 2.0   # range
+
+    def test_crd_detects_windy_regions(self, wind):
+        from repro.kernels import build_covariance
+
+        fit = fit_kernel(
+            wind.geometry.locations, wind.standardized, family="matern",
+            fixed_smoothness=1.43391, max_iterations=30,
+        )
+        sigma = build_covariance(fit.kernel, wind.geometry.locations, nugget=1e-6)
+        res = confidence_region(
+            sigma, wind.standardized, wind.standardized_threshold,
+            method="tlr", accuracy=1e-4, n_samples=3000, tile_size=35, rng=0,
+        )
+        region = res.excursion_set(alpha=0.5)
+        if region.any():
+            # every detected location must actually have high wind speed
+            assert wind.wind_speed[region].min() >= wind.threshold_ms - 1.0
+        # the marginal map must flag at least as many locations as the joint region
+        assert (res.marginal_probabilities >= 0.5).sum() >= region.sum()
+
+
+class TestParallelConsistency:
+    """The task-parallel execution must be bit-reproducible against serial."""
+
+    def test_full_crd_parallel_equals_serial(self):
+        ds = make_synthetic_dataset("strong", grid_size=10, rng=2)
+        u = ds.default_threshold(0.5)
+        serial = confidence_region(
+            ds.posterior.covariance, ds.posterior.mean, u,
+            n_samples=2000, tile_size=25, rng=9, runtime=Runtime(n_workers=1),
+        )
+        parallel = confidence_region(
+            ds.posterior.covariance, ds.posterior.mean, u,
+            n_samples=2000, tile_size=25, rng=9, runtime=Runtime(n_workers=6, policy="locality"),
+        )
+        np.testing.assert_allclose(
+            serial.confidence_function, parallel.confidence_function, atol=1e-10
+        )

@@ -1,0 +1,165 @@
+"""Unit tests for the task runtime: handles, tasks, dependency graph."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    READ,
+    READWRITE,
+    WRITE,
+    AccessMode,
+    DataHandle,
+    Task,
+    TaskGraph,
+    TaskState,
+)
+
+
+class TestAccessMode:
+    def test_read_flags(self):
+        assert READ.reads and not READ.writes
+
+    def test_write_flags(self):
+        assert WRITE.writes and not WRITE.reads
+
+    def test_readwrite_flags(self):
+        assert READWRITE.reads and READWRITE.writes
+
+
+class TestDataHandle:
+    def test_get_set(self):
+        h = DataHandle(np.zeros(3), name="x")
+        h.set(np.ones(3))
+        assert np.all(h.get() == 1.0)
+
+    def test_unique_uids(self):
+        handles = [DataHandle() for _ in range(10)]
+        assert len({h.uid for h in handles}) == 10
+
+    def test_default_name(self):
+        h = DataHandle()
+        assert h.name.startswith("handle")
+
+    def test_equality_is_identity(self):
+        a, b = DataHandle(1), DataHandle(1)
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+
+class TestTask:
+    def test_execute_inplace_mutation(self):
+        data = np.zeros(4)
+        h = DataHandle(data)
+
+        def body(x):
+            x += 1.0
+
+        task = Task(body, [(h, READWRITE)])
+        task.execute()
+        assert np.all(data == 1.0)
+
+    def test_execute_return_value_replaces_payload(self):
+        h = DataHandle(np.zeros(2))
+        task = Task(lambda x: x + 5.0, [(h, READWRITE)])
+        task.execute()
+        assert np.all(h.get() == 5.0)
+
+    def test_execute_multiple_written_handles(self):
+        h1, h2 = DataHandle(1.0), DataHandle(2.0)
+        task = Task(lambda a, b: (a + 10, b + 20), [(h1, READWRITE), (h2, READWRITE)])
+        task.execute()
+        assert h1.get() == 11.0 and h2.get() == 22.0
+
+    def test_kwargs_passed(self):
+        h = DataHandle(np.zeros(2))
+        task = Task(lambda x, value: x + value, [(h, READWRITE)], kwargs={"value": 3.0})
+        task.execute()
+        assert np.all(h.get() == 3.0)
+
+    def test_rejects_non_handle_access(self):
+        with pytest.raises(TypeError):
+            Task(lambda x: x, [(np.zeros(2), READ)])
+
+    def test_rejects_non_accessmode(self):
+        with pytest.raises(TypeError):
+            Task(lambda x: x, [(DataHandle(), "R")])
+
+    def test_initial_state_pending(self):
+        assert Task(lambda: None).state == TaskState.PENDING
+
+
+class TestTaskGraphDependencies:
+    def _tasks(self, graph, accesses_list):
+        out = []
+        for accesses in accesses_list:
+            out.append(graph.add_task(Task(lambda *a: None, accesses)))
+        return out
+
+    def test_read_after_write(self):
+        g = TaskGraph()
+        h = DataHandle()
+        writer, reader = self._tasks(g, [[(h, WRITE)], [(h, READ)]])
+        assert writer in g.predecessors[reader]
+
+    def test_write_after_write(self):
+        g = TaskGraph()
+        h = DataHandle()
+        w1, w2 = self._tasks(g, [[(h, WRITE)], [(h, WRITE)]])
+        assert w1 in g.predecessors[w2]
+
+    def test_write_after_read(self):
+        g = TaskGraph()
+        h = DataHandle()
+        w0, r1, w2 = self._tasks(g, [[(h, WRITE)], [(h, READ)], [(h, WRITE)]])
+        assert r1 in g.predecessors[w2]
+        assert w0 in g.predecessors[r1]
+
+    def test_independent_readers_not_ordered(self):
+        g = TaskGraph()
+        h = DataHandle()
+        w, r1, r2 = self._tasks(g, [[(h, WRITE)], [(h, READ)], [(h, READ)]])
+        assert r1 not in g.predecessors[r2]
+        assert r2 not in g.predecessors[r1]
+
+    def test_distinct_handles_independent(self):
+        g = TaskGraph()
+        h1, h2 = DataHandle(), DataHandle()
+        t1, t2 = self._tasks(g, [[(h1, WRITE)], [(h2, WRITE)]])
+        assert not g.predecessors[t2]
+
+    def test_topological_order_respects_deps(self):
+        g = TaskGraph()
+        h = DataHandle()
+        tasks = self._tasks(g, [[(h, WRITE)], [(h, READWRITE)], [(h, READ)]])
+        order = g.topological_order()
+        positions = {t: i for i, t in enumerate(order)}
+        assert positions[tasks[0]] < positions[tasks[1]] < positions[tasks[2]]
+
+    def test_roots(self):
+        g = TaskGraph()
+        h = DataHandle()
+        tasks = self._tasks(g, [[(h, WRITE)], [(h, READ)]])
+        assert g.roots() == [tasks[0]]
+
+    def test_cycle_detection_via_explicit_edges(self):
+        g = TaskGraph()
+        t1 = g.add_task(Task(lambda: None))
+        t2 = g.add_task(Task(lambda: None))
+        g.add_dependency(t1, t2)
+        g.add_dependency(t2, t1)
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+
+    def test_critical_path_and_total_work(self):
+        g = TaskGraph()
+        h = DataHandle()
+        self._tasks(g, [[(h, WRITE)], [(h, READWRITE)], [(h, READWRITE)]])
+        assert g.critical_path_length() == pytest.approx(3.0)
+        assert g.total_work() == pytest.approx(3.0)
+
+    def test_validate_passes_for_consistent_graph(self):
+        g = TaskGraph()
+        h = DataHandle()
+        self._tasks(g, [[(h, WRITE)], [(h, READ)]])
+        g.validate()

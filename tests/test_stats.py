@@ -1,0 +1,210 @@
+"""Unit tests for repro.stats: normal functions, QMC sequences, MLE, posterior."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm as scipy_norm
+
+from repro.kernels import ExponentialKernel, Geometry, MaternKernel, build_covariance
+from repro.fields import sample_gaussian_field
+from repro.stats import (
+    HaltonSequence,
+    RichtmyerLattice,
+    SobolSequence,
+    UniformRandom,
+    fit_kernel,
+    indicator_matrix,
+    negative_log_likelihood,
+    norm_cdf,
+    norm_cdf_interval,
+    norm_pdf,
+    norm_ppf,
+    posterior_from_observations,
+    qmc_samples,
+    sequence_from_name,
+    truncnorm_sample,
+)
+from repro.stats.qmc import first_primes
+
+
+class TestNormal:
+    def test_cdf_matches_scipy(self, rng):
+        x = rng.normal(0, 3, 200)
+        np.testing.assert_allclose(norm_cdf(x), scipy_norm.cdf(x), atol=1e-12)
+
+    def test_pdf_matches_scipy(self, rng):
+        x = rng.normal(0, 2, 100)
+        np.testing.assert_allclose(norm_pdf(x), scipy_norm.pdf(x), atol=1e-12)
+
+    def test_ppf_inverts_cdf(self, rng):
+        x = rng.normal(0, 1, 100)
+        np.testing.assert_allclose(norm_ppf(norm_cdf(x)), x, atol=1e-9)
+
+    def test_cdf_handles_infinities(self):
+        assert norm_cdf(np.array([-np.inf, np.inf])).tolist() == [0.0, 1.0]
+
+    def test_ppf_is_finite_at_extremes(self):
+        vals = norm_ppf(np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(vals))
+        assert vals[0] < -7 and vals[1] > 7
+
+    def test_interval_nonnegative(self):
+        a = np.array([0.0, 5.0])
+        b = np.array([1.0, 5.0])
+        widths = norm_cdf_interval(a, b)
+        assert np.all(widths >= 0.0)
+
+    def test_truncnorm_sample_within_bounds(self, rng):
+        a, b = -0.5, 1.2
+        u = rng.random(1000)
+        x = truncnorm_sample(np.full(1000, a), np.full(1000, b), u)
+        assert np.all(x >= a - 1e-9) and np.all(x <= b + 1e-9)
+
+    def test_truncnorm_rejects_bad_uniforms(self):
+        with pytest.raises(ValueError):
+            truncnorm_sample(np.zeros(2), np.ones(2), np.array([0.5, 1.5]))
+
+
+class TestQMC:
+    def test_first_primes(self):
+        np.testing.assert_array_equal(first_primes(6), [2, 3, 5, 7, 11, 13])
+
+    @pytest.mark.parametrize("cls", [UniformRandom, RichtmyerLattice, HaltonSequence, SobolSequence])
+    def test_points_in_open_unit_cube(self, cls):
+        pts = cls(5, rng=0).points(100)
+        assert pts.shape == (100, 5)
+        assert np.all(pts > 0.0) and np.all(pts < 1.0)
+
+    @pytest.mark.parametrize("name", ["random", "richtmyer", "halton", "sobol"])
+    def test_mean_near_half(self, name):
+        pts = sequence_from_name(name, 3, rng=1).points(2048)
+        np.testing.assert_allclose(pts.mean(axis=0), 0.5, atol=0.05)
+
+    def test_lowdiscrepancy_beats_random_on_uniformity(self):
+        """QMC star-discrepancy proxy: 1-D projections closer to uniform."""
+        n = 1024
+        random_pts = UniformRandom(1, rng=0).points(n)[:, 0]
+        qmc_pts = RichtmyerLattice(1, rng=0).points(n)[:, 0]
+
+        def max_gap(x):
+            return np.max(np.diff(np.sort(np.concatenate([[0.0], x, [1.0]]))))
+
+        assert max_gap(qmc_pts) < max_gap(random_pts)
+
+    def test_richtmyer_shift_randomizes(self):
+        a = RichtmyerLattice(2, rng=0).points(10)
+        b = RichtmyerLattice(2, rng=1).points(10)
+        assert not np.allclose(a, b)
+
+    def test_halton_deterministic_without_shift(self):
+        a = HaltonSequence(3, rng=0, shift=False).points(20)
+        b = HaltonSequence(3, rng=99, shift=False).points(20)
+        np.testing.assert_allclose(a, b)
+
+    def test_qmc_samples_orientation(self):
+        mat = qmc_samples(7, 50, method="halton", rng=0)
+        assert mat.shape == (7, 50)
+
+    def test_unknown_sequence(self):
+        with pytest.raises(ValueError):
+            sequence_from_name("notaseq", 2)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            RichtmyerLattice(0)
+        with pytest.raises(ValueError):
+            UniformRandom(2).points(0)
+
+
+class TestMLE:
+    def test_nll_finite_for_valid_kernel(self, grid_geometry, rng):
+        kern = ExponentialKernel(1.0, 0.2)
+        values = sample_gaussian_field(kern, grid_geometry.locations, rng=rng)[:, 0]
+        nll = negative_log_likelihood(kern, grid_geometry.locations, values)
+        assert np.isfinite(nll)
+
+    def test_nll_prefers_true_range_over_wrong_range(self):
+        geom = Geometry.regular_grid(9, 9)
+        true = ExponentialKernel(1.0, 0.2)
+        values = sample_gaussian_field(true, geom.locations, rng=3)[:, 0]
+        nll_true = negative_log_likelihood(true, geom.locations, values)
+        nll_wrong = negative_log_likelihood(ExponentialKernel(1.0, 0.9), geom.locations, values)
+        assert nll_true < nll_wrong
+
+    def test_fit_exponential_recovers_range_order_of_magnitude(self):
+        geom = Geometry.regular_grid(10, 10)
+        true = ExponentialKernel(1.0, 0.15)
+        values = sample_gaussian_field(true, geom.locations, rng=7)[:, 0]
+        result = fit_kernel(geom.locations, values, family="exponential", max_iterations=60)
+        assert 0.03 < result.theta[1] < 0.6
+        assert result.n_evaluations > 0
+
+    def test_fit_matern_with_fixed_smoothness(self):
+        geom = Geometry.regular_grid(8, 8)
+        true = MaternKernel(1.0, 0.2, 1.0)
+        values = sample_gaussian_field(true, geom.locations, rng=11)[:, 0]
+        result = fit_kernel(
+            geom.locations, values, family="matern", fixed_smoothness=1.0, max_iterations=40
+        )
+        assert len(result.theta) == 3
+        assert result.theta[2] == pytest.approx(1.0)
+
+    def test_fit_rejects_unknown_family(self, grid_geometry, rng):
+        with pytest.raises(ValueError):
+            fit_kernel(grid_geometry.locations, rng.normal(size=grid_geometry.n), family="cosine")
+
+    def test_nll_length_mismatch(self, grid_geometry):
+        with pytest.raises(ValueError):
+            negative_log_likelihood(ExponentialKernel(), grid_geometry.locations, np.zeros(3))
+
+
+class TestPosterior:
+    def _setup(self, rng, n_side=6):
+        geom = Geometry.regular_grid(n_side, n_side)
+        kern = ExponentialKernel(1.0, 0.25)
+        sigma = build_covariance(kern, geom.locations, nugget=1e-8)
+        latent = sample_gaussian_field(kern, geom.locations, rng=rng)[:, 0]
+        observed = np.arange(0, geom.n, 3)
+        y = latent[observed] + 0.5 * rng.standard_normal(observed.size)
+        return sigma, observed, y, latent
+
+    def test_indicator_matrix(self):
+        A = indicator_matrix([1, 3], 5)
+        assert A.shape == (2, 5)
+        assert A[0, 1] == 1.0 and A[1, 3] == 1.0 and A.sum() == 2.0
+
+    def test_indicator_out_of_range(self):
+        with pytest.raises(ValueError):
+            indicator_matrix([7], 5)
+
+    def test_posterior_matches_explicit_formula(self, rng):
+        """Posterior must equal (Sigma^-1 + A^T A / tau^2)^-1 computed directly."""
+        sigma, observed, y, _ = self._setup(rng)
+        post = posterior_from_observations(sigma, observed, y, noise_std=0.5)
+        n = sigma.shape[0]
+        A = indicator_matrix(observed, n)
+        expected_cov = np.linalg.inv(np.linalg.inv(sigma) + (1 / 0.25) * A.T @ A)
+        np.testing.assert_allclose(post.covariance, expected_cov, atol=1e-6)
+        expected_mean = (1 / 0.25) * expected_cov @ A.T @ y
+        np.testing.assert_allclose(post.mean, expected_mean, atol=1e-6)
+
+    def test_posterior_covariance_is_spd_and_smaller(self, rng):
+        sigma, observed, y, _ = self._setup(rng)
+        post = posterior_from_observations(sigma, observed, y, noise_std=0.5)
+        eigvals = np.linalg.eigvalsh(post.covariance)
+        assert eigvals.min() > 0
+        # conditioning on data cannot increase marginal variances
+        assert np.all(np.diag(post.covariance) <= np.diag(sigma) + 1e-10)
+
+    def test_posterior_mean_tracks_observations_at_low_noise(self, rng):
+        sigma, observed, y, _ = self._setup(rng)
+        post = posterior_from_observations(sigma, observed, y, noise_std=0.01)
+        np.testing.assert_allclose(post.mean[observed], y, atol=0.05)
+
+    def test_posterior_input_validation(self, rng):
+        sigma, observed, y, _ = self._setup(rng)
+        with pytest.raises(ValueError):
+            posterior_from_observations(sigma, observed, y[:-1])
+        with pytest.raises(ValueError):
+            posterior_from_observations(sigma, observed, y, noise_std=0.0)
+        with pytest.raises(ValueError):
+            posterior_from_observations(sigma, np.array([0, 0]), y[:2])

@@ -1,0 +1,120 @@
+"""Unit tests for repro.utils.timers and repro.utils.reporting."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.reporting import Table, ascii_heatmap, format_seconds, format_si
+from repro.utils.timers import Timer, TimingRegistry, timed
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestTimingRegistry:
+    def test_region_accumulates(self):
+        reg = TimingRegistry()
+        for _ in range(3):
+            with reg.region("phase"):
+                pass
+        assert reg.count("phase") == 3
+        assert reg.total("phase") >= 0.0
+
+    def test_add_and_mean(self):
+        reg = TimingRegistry()
+        reg.add("x", 1.0)
+        reg.add("x", 3.0)
+        assert reg.mean("x") == pytest.approx(2.0)
+        assert reg.total("x") == pytest.approx(4.0)
+
+    def test_missing_region_is_zero(self):
+        reg = TimingRegistry()
+        assert reg.total("nope") == 0.0
+        assert reg.count("nope") == 0
+
+    def test_merge(self):
+        a, b = TimingRegistry(), TimingRegistry()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 5.0)
+        a.merge(b)
+        assert a.total("x") == pytest.approx(3.0)
+        assert a.total("y") == pytest.approx(5.0)
+
+    def test_summary_keys(self):
+        reg = TimingRegistry()
+        reg.add("x", 1.0)
+        summary = reg.summary()
+        assert set(summary["x"]) == {"total", "count", "mean", "min", "max"}
+
+    def test_timed_with_none_registry(self):
+        with timed(None, "anything"):
+            pass  # must not raise
+
+    def test_timed_with_registry(self):
+        reg = TimingRegistry()
+        with timed(reg, "r"):
+            pass
+        assert reg.count("r") == 1
+
+
+class TestFormatting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(0.05).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+        assert "m" in format_seconds(90.0)
+
+    def test_format_si(self):
+        assert format_si(0) == "0"
+        assert format_si(1500) == "1.5K"
+        assert format_si(2_000_000).endswith("M")
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table(["a", "b"], title="demo")
+        t.add_row([1, 2.5])
+        text = t.render()
+        assert "demo" in text and "2.5" in text
+
+    def test_row_length_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_csv_export(self, tmp_path):
+        t = Table(["a", "b"])
+        t.add_row([1, 2])
+        path = t.to_csv(tmp_path / "out.csv")
+        assert path.exists()
+        assert "a,b" in path.read_text().splitlines()[0]
+
+
+class TestAsciiHeatmap:
+    def test_shape_preserved(self):
+        img = ascii_heatmap(np.arange(12).reshape(3, 4))
+        lines = img.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.arange(5))
+
+    def test_handles_nan(self):
+        arr = np.array([[np.nan, 1.0], [0.0, 2.0]])
+        img = ascii_heatmap(arr)
+        assert img.splitlines()[0][0] == " "
+
+    def test_constant_array(self):
+        img = ascii_heatmap(np.ones((2, 2)))
+        assert len(img.splitlines()) == 2
