@@ -1,0 +1,164 @@
+"""Batched MVN throughput — boxes/sec vs the loop-of-singles baseline.
+
+The many-query workload of the ROADMAP: many probability boxes evaluated
+against one covariance model.  The baseline calls
+:func:`repro.mvn_probability` once per box (refactorizing the covariance
+every call); the batched path (:func:`repro.batch.mvn_probability_batch`)
+factorizes once and sweeps all boxes through a single interleaved task-graph
+submission with wide chain blocks.
+
+Acceptance gate of the batching PR: with >= 32 boxes against one 256-dim
+covariance, the batched path must be >= 2x faster end-to-end while returning
+the same probabilities, and confidence-region detection must keep
+factorizing exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import N_WORKERS, save_table
+from repro import confidence_region, mvn_probability
+from repro.batch import FactorCache, mvn_probability_batch
+from repro.kernels import ExponentialKernel, Geometry, build_covariance
+from repro.runtime import Runtime
+from repro.utils.reporting import Table
+import repro.core.crd as crd_module
+
+N_BOXES = 32
+DIMENSION = 256  # 16 x 16 grid
+N_SAMPLES = 1_000
+SEED = 5
+
+
+def _problem() -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    side = int(round(np.sqrt(DIMENSION)))
+    geom = Geometry.regular_grid(side, side)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.1), geom.locations, nugget=1e-6)
+    n = sigma.shape[0]
+    rng = np.random.default_rng(7)
+    return sigma, [(np.full(n, -np.inf), rng.uniform(0.3, 2.0, n)) for _ in range(N_BOXES)]
+
+
+def _run_pair(sigma, boxes, method: str, runtime: Runtime | None):
+    """Time the loop-of-singles baseline and the batched path for one method."""
+    start = time.perf_counter()
+    batched = mvn_probability_batch(
+        boxes, sigma, method=method, n_samples=N_SAMPLES, rng=SEED, runtime=runtime
+    )
+    t_batch = time.perf_counter() - start
+
+    start = time.perf_counter()
+    singles = [
+        mvn_probability(a, b, sigma, method=method, n_samples=N_SAMPLES, rng=SEED, runtime=runtime)
+        for a, b in boxes
+    ]
+    t_loop = time.perf_counter() - start
+    return singles, batched, t_loop, t_batch
+
+
+@pytest.mark.parametrize("method", ["dense", "tlr"])
+def test_batch_throughput(benchmark, method):
+    """Batched >= 2x faster than the loop of singles, identical estimates."""
+    sigma, boxes = _problem()
+    runtime = Runtime(n_workers=N_WORKERS) if N_WORKERS > 1 else None
+
+    singles, batched, t_loop, t_batch = benchmark.pedantic(
+        lambda: _run_pair(sigma, boxes, method, runtime), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["path", "elapsed (s)", "boxes/s"],
+        title=f"batched vs loop — {N_BOXES} boxes, n={DIMENSION}, N={N_SAMPLES}, {method}",
+    )
+    table.add_row(["loop of singles", t_loop, N_BOXES / t_loop])
+    table.add_row(["batched", t_batch, N_BOXES / t_batch])
+    table.add_row(["speedup", t_loop / t_batch, ""])
+    save_table(table, f"batch_throughput_{method}")
+    print()
+    print(table.render())
+
+    # same estimator, same seed: the batched sweep reproduces the singles
+    for single, batch_result in zip(singles, batched):
+        assert batch_result.probability == pytest.approx(single.probability, rel=1e-9, abs=1e-300)
+    # the acceptance gate: factorize-once + wide interleaved chain blocks
+    # must at least halve the end-to-end time
+    assert t_loop >= 2.0 * t_batch, f"batched speedup only {t_loop / t_batch:.2f}x"
+
+
+def test_factor_cache_amortization(benchmark):
+    """Repeated single calls through a FactorCache factorize exactly once."""
+    sigma, boxes = _problem()
+    cache = FactorCache()
+
+    def run():
+        return [
+            mvn_probability(a, b, sigma, method="dense", n_samples=N_SAMPLES, rng=SEED, cache=cache)
+            for a, b in boxes
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == N_BOXES
+    assert cache.factorize_count == 1
+    assert cache.hits == N_BOXES - 1
+
+
+def test_crd_factorizes_once_and_matches_seed(benchmark):
+    """Confidence-region detection: one factorization, seed-identical output.
+
+    The sequential algorithm now routes its prefix boxes through the batched
+    sweep; this guards the refactor by re-running the historical
+    one-sweep-per-prefix loop and comparing every probability.
+    """
+    geom = Geometry.regular_grid(8, 8)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.15), geom.locations, nugget=1e-6)
+    n = sigma.shape[0]
+    mean = np.linspace(-0.5, 1.0, n)
+    threshold = 0.4
+
+    calls = {"count": 0}
+    original = crd_module.factorize
+
+    def counting_factorize(*args, **kwargs):
+        calls["count"] += 1
+        return original(*args, **kwargs)
+
+    crd_module.factorize = counting_factorize
+    try:
+        result = benchmark.pedantic(
+            lambda: confidence_region(
+                sigma, mean, threshold, method="dense", algorithm="sequential",
+                n_samples=400, rng=3, levels=np.arange(1, n + 1, 4),
+            ),
+            rounds=1, iterations=1,
+        )
+    finally:
+        crd_module.factorize = original
+    assert calls["count"] == 1, f"confidence_region factorized {calls['count']} times"
+
+    # historical (seed) behaviour: one pmvn_integrate call per prefix size
+    from repro.core.factor import factorize as core_factorize
+    from repro.core.pmvn import PMVNOptions, pmvn_integrate
+    from repro.core.crd import _standardized_problem, marginal_exceedance
+
+    p_marginal = marginal_exceedance(mean, np.diag(sigma), threshold)
+    order = np.argsort(-p_marginal, kind="stable")
+    corr_ord, a_std = _standardized_problem(sigma, mean, threshold, order)
+    corr_ord[np.diag_indices_from(corr_ord)] += 1e-8
+    factor = core_factorize(corr_ord, method="dense")
+    b = np.full(n, np.inf)
+    sizes = np.arange(1, n + 1, 4)
+    seed_probs = []
+    for size in sizes:
+        a_vec = np.full(n, -np.inf)
+        a_vec[:size] = a_std[:size]
+        res = pmvn_integrate(a_vec, b, factor, PMVNOptions(n_samples=400, rng=3))
+        seed_probs.append(res.probability)
+    seed_probs = np.interp(np.arange(1, n + 1), sizes, seed_probs)
+    seed_probs = np.minimum.accumulate(seed_probs)
+
+    batched_probs = result.confidence_function[order]
+    np.testing.assert_allclose(batched_probs, seed_probs, rtol=1e-12, atol=0)

@@ -11,6 +11,8 @@ Abdulah, Cao, Ltaief, Sun, Genton and Keyes.  The package provides:
   :mod:`repro.fields`),
 * the paper's contribution — parallel SOV/PMVN and confidence region
   detection (:mod:`repro.core`, :mod:`repro.excursion`),
+* batched many-query evaluation with a factorization cache
+  (:mod:`repro.batch`),
 * datasets, a simulated distributed-memory cluster and performance models
   (:mod:`repro.datasets`, :mod:`repro.distributed`, :mod:`repro.perf`).
 
@@ -23,25 +25,39 @@ Quick start
 ...                          method="sov", n_samples=2000, rng=0)
 >>> abs(result.probability - 1/3) < 0.02
 True
+
+Many boxes against one covariance, factorized once:
+
+>>> from repro import mvn_probability_batch
+>>> boxes = [([-np.inf, -np.inf], [0.0, 0.0]),
+...          ([-np.inf, -np.inf], [1.0, 1.0])]
+>>> results = mvn_probability_batch(boxes, sigma, method="dense",
+...                                 n_samples=500, rng=0)
+>>> results[0].probability < results[1].probability
+True
 """
 
-from repro.core.api import mvn_probability
+from repro.core.api import mvn_probability, mvn_probability_batch
 from repro.core.crd import ConfidenceRegionResult, confidence_region, confidence_region_from_posterior
-from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, PMVNOptions
+from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, pmvn_integrate_batch, PMVNOptions
 from repro.core.factor import factorize
+from repro.batch import FactorCache
 from repro.mvn import MVNResult, mvn_mc, mvn_sov, mvn_sov_vectorized
 from repro.runtime import Runtime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "mvn_probability",
+    "mvn_probability_batch",
+    "FactorCache",
     "ConfidenceRegionResult",
     "confidence_region",
     "confidence_region_from_posterior",
     "pmvn_dense",
     "pmvn_tlr",
     "pmvn_integrate",
+    "pmvn_integrate_batch",
     "PMVNOptions",
     "factorize",
     "MVNResult",

@@ -1,0 +1,39 @@
+"""Batched MVN evaluation: many boxes, one covariance, one factorization.
+
+The many-query workload class of the ROADMAP: a service answering dozens of
+probability queries against the same covariance model should pay for the
+Cholesky factorization once and keep the task runtime saturated across
+queries.  This subpackage provides:
+
+* :class:`~repro.batch.cache.FactorCache` — an LRU cache of Cholesky
+  factors keyed on a content fingerprint of the covariance plus the
+  factorization settings,
+* :func:`~repro.batch.batched.mvn_probability_batch` — the batched
+  counterpart of :func:`repro.core.api.mvn_probability`,
+* :func:`~repro.batch.batched.boxes_from_arrays` /
+  :func:`~repro.batch.batched.load_boxes` — box-list construction helpers
+  (the latter backs the ``repro batch`` CLI subcommand).
+
+See ``docs/batch.md`` for a walkthrough.
+
+>>> import numpy as np
+>>> from repro.batch import mvn_probability_batch, boxes_from_arrays
+>>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> boxes = boxes_from_arrays(np.full((3, 2), -np.inf),
+...                           np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+>>> results = mvn_probability_batch(boxes, sigma, method="dense",
+...                                 n_samples=500, rng=0)
+>>> [round(r.probability, 1) for r in results]
+[0.3, 0.7, 1.0]
+"""
+
+from repro.batch.batched import boxes_from_arrays, load_boxes, mvn_probability_batch
+from repro.batch.cache import FactorCache, sigma_fingerprint
+
+__all__ = [
+    "FactorCache",
+    "sigma_fingerprint",
+    "mvn_probability_batch",
+    "boxes_from_arrays",
+    "load_boxes",
+]

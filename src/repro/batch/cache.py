@@ -1,0 +1,196 @@
+"""A keyed cache of Cholesky factorizations.
+
+Many-query workloads (confidence-region detection, batched box evaluation,
+repeated calls from a service loop) evaluate MVN probabilities against the
+same covariance over and over; the factorization is pure setup and can be
+amortized.  :class:`FactorCache` keys factors on a content fingerprint of
+the covariance plus the factorization settings ``(method, tile_size,
+accuracy, max_rank, precision, compression)``, so a cache hit is guaranteed
+to reproduce exactly the factor a fresh :func:`repro.core.factor.factorize`
+call would build.
+
+>>> import numpy as np
+>>> from repro.batch import FactorCache
+>>> cache = FactorCache()
+>>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> f1 = cache.get_or_factorize(sigma, method="dense")
+>>> f2 = cache.get_or_factorize(sigma, method="dense")
+>>> f1 is f2, cache.factorize_count
+(True, 1)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.factor import CholeskyFactor, factorize
+
+__all__ = ["FactorCache", "sigma_fingerprint"]
+
+
+def sigma_fingerprint(sigma) -> str:
+    """Content hash of a covariance matrix (shape + dtype + bytes).
+
+    Two arrays with equal contents fingerprint identically regardless of
+    object identity, so a cache survives reloading the matrix from disk.
+    """
+    arr = np.ascontiguousarray(sigma)
+    digest = hashlib.sha256()
+    digest.update(str(arr.shape).encode())
+    digest.update(str(arr.dtype).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+class FactorCache:
+    """LRU cache mapping ``(sigma fingerprint, settings)`` to factors.
+
+    Parameters
+    ----------
+    max_entries : int
+        Maximum number of factors kept alive; the least recently used entry
+        is evicted first.  Factors can be large (a dense factor is
+        ``O(n^2)``), so the default is deliberately small.
+
+    Attributes
+    ----------
+    factorize_count : int
+        Number of actual factorizations performed (cache misses that built
+        a factor).  Tests and benchmarks use this to assert that the cache
+        is doing its job.
+    hits, misses : int
+        Lookup statistics.
+
+    Notes
+    -----
+    Hashing an ``n x n`` covariance is ``O(n^2)``, so repeated lookups with
+    the *same array object* short-circuit through a weak identity memo and
+    skip the content hash.  That assumes the arrays are immutable while
+    cached: mutating one in place and reusing the same object can serve a
+    factor of the old contents — pass a fresh array after in-place edits.
+    """
+
+    #: identity-memo capacity (arrays recently fingerprinted)
+    _FP_MEMO_SIZE = 16
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, CholeskyFactor] = OrderedDict()
+        # id -> (weakref to array, fingerprint); weak so the memo never pins
+        # covariance arrays in memory, and a dead/reused id simply re-hashes
+        self._fp_memo: OrderedDict[int, tuple[weakref.ref, str]] = OrderedDict()
+        self.factorize_count = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _fingerprint(self, sigma) -> str:
+        """Content fingerprint with an object-identity fast path."""
+        if isinstance(sigma, np.ndarray):
+            memo = self._fp_memo.get(id(sigma))
+            if memo is not None and memo[0]() is sigma:
+                self._fp_memo.move_to_end(id(sigma))
+                return memo[1]
+        fingerprint = sigma_fingerprint(sigma)
+        if isinstance(sigma, np.ndarray):
+            try:
+                self._fp_memo[id(sigma)] = (weakref.ref(sigma), fingerprint)
+            except TypeError:  # pragma: no cover - exotic ndarray subclass
+                pass
+            else:
+                while len(self._fp_memo) > self._FP_MEMO_SIZE:
+                    self._fp_memo.popitem(last=False)
+        return fingerprint
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FactorCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, factorized={self.factorize_count})"
+        )
+
+    @staticmethod
+    def _settings_key(
+        method: str,
+        tile_size: int | None,
+        accuracy: float,
+        max_rank: int | None,
+        precision: str,
+        compression: str,
+    ) -> tuple:
+        method = str(method).lower()
+        if method == "dense":
+            # dense factors ignore the TLR knobs; collapse them so a dense
+            # factor is shared across accuracy settings
+            accuracy, max_rank, compression = None, None, None
+        return (method, tile_size, accuracy, max_rank, precision, compression)
+
+    @staticmethod
+    def key(
+        sigma,
+        method: str = "dense",
+        tile_size: int | None = None,
+        accuracy: float = 1e-3,
+        max_rank: int | None = None,
+        precision: str = "double",
+        compression: str = "svd",
+    ) -> tuple:
+        """The cache key for a covariance + factorization settings."""
+        return (sigma_fingerprint(sigma),) + FactorCache._settings_key(
+            method, tile_size, accuracy, max_rank, precision, compression
+        )
+
+    def get_or_factorize(
+        self,
+        sigma,
+        method: str = "dense",
+        tile_size: int | None = None,
+        accuracy: float = 1e-3,
+        max_rank: int | None = None,
+        runtime=None,
+        timings=None,
+        precision: str = "double",
+        compression: str = "svd",
+    ) -> CholeskyFactor:
+        """Return a cached factor, building (and caching) it on first use.
+
+        All keyword arguments mirror :func:`repro.core.factor.factorize`;
+        ``runtime`` and ``timings`` only affect how a miss is computed, not
+        the key.
+        """
+        key = (self._fingerprint(sigma),) + self._settings_key(
+            method, tile_size, accuracy, max_rank, precision, compression
+        )
+        factor = self._entries.get(key)
+        if factor is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return factor
+        self.misses += 1
+        factor = factorize(
+            sigma,
+            method=method,
+            tile_size=tile_size,
+            accuracy=accuracy,
+            max_rank=max_rank,
+            runtime=runtime,
+            timings=timings,
+            precision=precision,
+            compression=compression,
+        )
+        self.factorize_count += 1
+        self._entries[key] = factor
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return factor
+
+    def clear(self) -> None:
+        """Drop every cached factor (statistics are kept)."""
+        self._entries.clear()

@@ -6,6 +6,10 @@ Three subcommands cover the library's main workflows without writing Python:
     Estimate an MVN probability for a covariance matrix stored in ``.npy`` /
     ``.npz`` (or a synthetic spatial covariance generated on the fly).
 
+``repro batch``
+    Evaluate many boxes read from a file against one covariance through the
+    batched, factorize-once path (:mod:`repro.batch`).
+
 ``repro crd``
     Run confidence-region detection on a synthetic dataset (or a covariance /
     mean pair loaded from ``.npy``) and optionally save the result.
@@ -26,7 +30,22 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.methods import ACCEPTED_METHODS
+
 __all__ = ["main", "build_parser"]
+
+
+def _add_mvn_problem_args(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``mvn`` and ``batch`` subcommands."""
+    parser.add_argument("--covariance", type=Path, help=".npy/.npz file with the covariance matrix")
+    parser.add_argument("--grid", type=int, default=20, help="synthetic grid side when no covariance is given")
+    parser.add_argument("--kernel-range", type=float, default=0.1, help="synthetic exponential kernel range")
+    parser.add_argument("--method", default="dense", choices=list(ACCEPTED_METHODS))
+    parser.add_argument("--samples", type=int, default=2000, help="MC/QMC sample size")
+    parser.add_argument("--tile-size", type=int, default=None)
+    parser.add_argument("--accuracy", type=float, default=1e-3, help="TLR compression accuracy")
+    parser.add_argument("--workers", type=int, default=1, help="runtime worker threads")
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,17 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     mvn = sub.add_parser("mvn", help="estimate an MVN probability")
-    mvn.add_argument("--covariance", type=Path, help=".npy/.npz file with the covariance matrix")
-    mvn.add_argument("--grid", type=int, default=20, help="synthetic grid side when no covariance is given")
-    mvn.add_argument("--kernel-range", type=float, default=0.1, help="synthetic exponential kernel range")
+    _add_mvn_problem_args(mvn)
     mvn.add_argument("--upper", type=float, default=1.0, help="upper limit applied to every dimension")
     mvn.add_argument("--lower", type=float, default=None, help="lower limit (default -inf)")
-    mvn.add_argument("--method", default="dense", choices=["mc", "sov", "sov-seq", "dense", "tlr"])
-    mvn.add_argument("--samples", type=int, default=2000, help="MC/QMC sample size")
-    mvn.add_argument("--tile-size", type=int, default=None)
-    mvn.add_argument("--accuracy", type=float, default=1e-3, help="TLR compression accuracy")
-    mvn.add_argument("--workers", type=int, default=1, help="runtime worker threads")
-    mvn.add_argument("--seed", type=int, default=0)
+
+    batch = sub.add_parser("batch", help="evaluate many MVN boxes against one covariance")
+    _add_mvn_problem_args(batch)
+    batch.add_argument("--boxes", type=Path, required=True,
+                       help="box file: .npz with lower/upper arrays, .npy with an "
+                            "(n_boxes, 2, n) array, or text rows of 2n numbers")
+    batch.add_argument("--save", type=Path, default=None,
+                       help="save per-box probabilities/errors to this .npz path")
 
     crd = sub.add_parser("crd", help="confidence region detection on a synthetic dataset")
     crd.add_argument("--correlation", default="medium", help="weak / medium / strong or a range value")
@@ -104,6 +123,47 @@ def _cmd_mvn(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    import time
+
+    from repro import Runtime
+    from repro.batch import load_boxes, mvn_probability_batch
+    from repro.utils.reporting import Table
+
+    sigma = _load_covariance(args)
+    n = sigma.shape[0]
+    if not args.boxes.exists():
+        raise SystemExit(f"box file not found: {args.boxes}")
+    boxes = load_boxes(args.boxes)
+    for idx, (a, b) in enumerate(boxes):
+        if a.shape[0] != n:
+            raise SystemExit(
+                f"box {idx} has dimension {a.shape[0]} but the covariance is {n}x{n}"
+            )
+    runtime = Runtime(n_workers=args.workers) if args.workers > 1 else None
+    start = time.perf_counter()
+    results = mvn_probability_batch(
+        boxes, sigma, method=args.method, n_samples=args.samples,
+        tile_size=args.tile_size, accuracy=args.accuracy, rng=args.seed,
+        runtime=runtime,
+    )
+    elapsed = time.perf_counter() - start
+    table = Table(["box", "probability", "std error"],
+                  title=f"{len(boxes)} boxes, dimension {n}, method {args.method}")
+    for idx, result in enumerate(results):
+        table.add_row([idx, result.probability, result.error])
+    print(table.render())
+    print(f"elapsed          : {elapsed:.3f} s ({len(boxes) / elapsed:.2f} boxes/s)")
+    if args.save is not None:
+        np.savez(
+            args.save,
+            probabilities=np.array([r.probability for r in results]),
+            errors=np.array([r.error for r in results]),
+        )
+        print(f"saved result to {args.save}")
+    return 0
+
+
 def _cmd_crd(args) -> int:
     from repro import Runtime, confidence_region
     from repro.datasets import make_synthetic_dataset
@@ -151,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "mvn":
         return _cmd_mvn(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "crd":
         return _cmd_crd(args)
     if args.command == "calibrate":

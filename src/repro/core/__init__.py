@@ -5,39 +5,49 @@ driver built on it (Algorithm 1).
 Public entry points
 -------------------
 * :func:`~repro.core.api.mvn_probability` — one-call MVN probability with
-  method selection (``"mc"``, ``"sov"``, ``"dense"``, ``"tlr"``).
+  method selection (``"mc"``, ``"sov"``, ``"dense"``, ``"tlr"``; the full
+  registry lives in :mod:`repro.core.methods`).
+* :func:`~repro.batch.batched.mvn_probability_batch` — many boxes against
+  one covariance, factorized once (re-exported from :mod:`repro.batch`).
 * :func:`~repro.core.pmvn.pmvn_dense` / :func:`~repro.core.pmvn.pmvn_tlr` —
   the tile-parallel SOV integration with a dense or TLR Cholesky factor.
-* :func:`~repro.core.pmvn.pmvn_integrate` — the integration sweep given a
-  pre-computed factor (what Algorithm 1 calls in its inner loop).
+* :func:`~repro.core.pmvn.pmvn_integrate` /
+  :func:`~repro.core.pmvn.pmvn_integrate_batch` — the integration sweep
+  given a pre-computed factor (what Algorithm 1 calls in its inner loop).
 * :class:`~repro.core.crd.ConfidenceRegionResult` and
   :func:`~repro.core.crd.confidence_region` — Algorithm 1.
 """
 
 from repro.core.factor import CholeskyFactor, DenseTileFactor, TLRFactor, factorize
+from repro.core.methods import ACCEPTED_METHODS, METHOD_SPECS, canonical_method
 from repro.core.qmc_kernel import qmc_kernel_tile
-from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, PMVNOptions
+from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, pmvn_integrate_batch, PMVNOptions
 from repro.core.crd import (
     ConfidenceRegionResult,
     confidence_region,
     confidence_region_from_posterior,
     marginal_exceedance,
 )
-from repro.core.api import mvn_probability
+from repro.core.api import mvn_probability, mvn_probability_batch
 
 __all__ = [
     "CholeskyFactor",
     "DenseTileFactor",
     "TLRFactor",
     "factorize",
+    "ACCEPTED_METHODS",
+    "METHOD_SPECS",
+    "canonical_method",
     "qmc_kernel_tile",
     "pmvn_dense",
     "pmvn_tlr",
     "pmvn_integrate",
+    "pmvn_integrate_batch",
     "PMVNOptions",
     "ConfidenceRegionResult",
     "confidence_region",
     "confidence_region_from_posterior",
     "marginal_exceedance",
     "mvn_probability",
+    "mvn_probability_batch",
 ]

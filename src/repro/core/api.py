@@ -2,20 +2,32 @@
 
 ``mvn_probability`` dispatches between the baseline estimators and the
 tile-parallel implementations, so downstream code (and the examples) can
-switch methods with a string.
+switch methods with a string.  The accepted ``method=`` strings live in
+:mod:`repro.core.methods`; the docstring bullet list and the ``ValueError``
+for unknown names are generated from that registry (as is
+``docs/methods.md``), so the three can never drift apart.
+
+``mvn_probability_batch`` (from :mod:`repro.batch`, re-exported here) is the
+many-boxes-one-covariance counterpart.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.methods import (
+    canonical_method,
+    check_factor_args,
+    method_doc_lines,
+    method_set_doc,
+)
 from repro.core.pmvn import pmvn_dense, pmvn_tlr
 from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
 from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
 from repro.runtime import Runtime
 
-__all__ = ["mvn_probability"]
+__all__ = ["mvn_probability", "mvn_probability_batch"]
 
 
 def mvn_probability(
@@ -32,6 +44,8 @@ def mvn_probability(
     qmc: str = "richtmyer",
     rng=None,
     runtime: Runtime | None = None,
+    factor=None,
+    cache=None,
 ) -> MVNResult:
     """Estimate the MVN probability ``P(a <= X <= b)`` for ``X ~ N(mean, sigma)``.
 
@@ -41,13 +55,8 @@ def mvn_probability(
         Integration limits; use ``-np.inf`` / ``np.inf`` for one-sided boxes.
     sigma : array_like (n, n)
         Covariance matrix.
-    method : {"dense", "tlr", "sov", "sov-seq", "mc"}
-        * ``"dense"`` — tile-parallel PMVN with a dense tiled Cholesky
-          (the paper's reference parallel implementation),
-        * ``"tlr"`` — PMVN with the Tile Low-Rank Cholesky at ``accuracy``,
-        * ``"sov"`` — vectorized single-node Genz SOV baseline,
-        * ``"sov-seq"`` — scalar-loop Genz SOV (slow; testing only),
-        * ``"mc"`` — naive Monte Carlo baseline.
+    method : __METHOD_SET__
+__METHOD_LIST__
     n_samples : int
         Monte Carlo / QMC sample size.
     n_workers : int
@@ -60,27 +69,52 @@ def mvn_probability(
         Randomization source.
     runtime : Runtime, optional
         Pre-built runtime (overrides ``n_workers``).
+    factor : CholeskyFactor, optional
+        Pre-computed factor of ``sigma`` (parallel methods only); skips the
+        factorization entirely.
+    cache : repro.batch.FactorCache, optional
+        Factor cache consulted (and populated) when ``factor`` is not given;
+        repeated calls against the same covariance factorize once.
     """
-    method = method.lower()
-    if method in ("mc", "montecarlo"):
+    method = canonical_method(method)
+    check_factor_args(method, factor, cache)
+    if method == "mc":
         return mvn_mc(a, b, sigma, n_samples=n_samples, mean=mean, rng=rng)
-    if method in ("sov-seq", "sov_sequential"):
+    if method == "sov-seq":
         return mvn_sov(a, b, sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
-    if method in ("sov", "sov-vectorized", "genz"):
+    if method == "sov":
         return mvn_sov_vectorized(a, b, sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
     rt = runtime if runtime is not None else (Runtime(n_workers=n_workers) if n_workers > 1 else None)
-    if method in ("dense", "pmvn", "pmvn-dense"):
+    if factor is None and cache is not None:
+        factor = cache.get_or_factorize(
+            np.asarray(sigma, dtype=np.float64),
+            method=method, tile_size=tile_size, accuracy=accuracy,
+            max_rank=max_rank, runtime=rt,
+        )
+    if method == "dense":
         return pmvn_dense(
-            a, b, np.asarray(sigma, dtype=np.float64),
+            a, b, None if factor is not None else np.asarray(sigma, dtype=np.float64),
             n_samples=n_samples, tile_size=tile_size, runtime=rt,
-            mean=mean, qmc=qmc, rng=rng,
+            mean=mean, qmc=qmc, rng=rng, factor=factor,
         )
-    if method in ("tlr", "pmvn-tlr"):
-        return pmvn_tlr(
-            a, b, np.asarray(sigma, dtype=np.float64),
-            n_samples=n_samples, tile_size=tile_size, accuracy=accuracy,
-            max_rank=max_rank, runtime=rt, mean=mean, qmc=qmc, rng=rng,
-        )
-    raise ValueError(
-        f"unknown method {method!r}; expected one of 'dense', 'tlr', 'sov', 'sov-seq', 'mc'"
+    # method == "tlr" (canonical_method already rejected everything else)
+    return pmvn_tlr(
+        a, b, None if factor is not None else np.asarray(sigma, dtype=np.float64),
+        n_samples=n_samples, tile_size=tile_size, accuracy=accuracy,
+        max_rank=max_rank, runtime=rt, mean=mean, qmc=qmc, rng=rng, factor=factor,
     )
+
+
+# inject the generated method documentation (single source: repro.core.methods);
+# under ``python -OO`` docstrings are stripped and there is nothing to inject
+if mvn_probability.__doc__ is not None:
+    mvn_probability.__doc__ = (
+        mvn_probability.__doc__
+        .replace("__METHOD_SET__", method_set_doc())
+        .replace("__METHOD_LIST__", method_doc_lines())
+    )
+
+# re-exported here so `from repro.core.api import mvn_probability_batch` works;
+# the implementation lives in repro.batch (imported late to keep the package
+# import order acyclic)
+from repro.batch import mvn_probability_batch  # noqa: E402

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.factor import CholeskyFactor, factorize
-from repro.core.pmvn import PMVNOptions, pmvn_integrate
+from repro.core.pmvn import PMVNOptions, pmvn_integrate, pmvn_integrate_batch
 from repro.runtime import Runtime
 from repro.stats.normal import norm_cdf
 from repro.utils.timers import TimingRegistry, timed
@@ -133,6 +133,7 @@ def confidence_region(
     nugget: float = 1e-8,
     timings: TimingRegistry | None = None,
     levels: np.ndarray | None = None,
+    cache=None,
 ) -> ConfidenceRegionResult:
     """Run Algorithm 1 on a Gaussian field ``N(mean, sigma)``.
 
@@ -158,6 +159,10 @@ def confidence_region(
     levels : ndarray, optional
         For ``algorithm="sequential"`` only: prefix sizes to evaluate
         explicitly (defaults to all prefixes, which is expensive).
+    cache : repro.batch.FactorCache, optional
+        Factor cache for the standardized correlation matrix; repeated
+        detections against the same field (e.g. sweeping thresholds)
+        factorize once.
     """
     sigma = check_covariance(sigma, "covariance")
     n = sigma.shape[0]
@@ -177,7 +182,10 @@ def confidence_region(
             corr_ord[np.diag_indices_from(corr_ord)] += nugget
 
     with timed(timings, "factorize"):
-        factor = factorize(
+        # the covariance is factorized exactly once per detection; with a
+        # cache, repeated detections against the same field reuse the factor
+        build = cache.get_or_factorize if cache is not None else factorize
+        factor = build(
             corr_ord,
             method=method,
             tile_size=tile_size,
@@ -252,7 +260,15 @@ def _sequential_joint_probabilities(
     timings: TimingRegistry,
     levels: np.ndarray | None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Paper-faithful loop: one PMVN call per prefix size.
+    """Paper-faithful prefix boxes, evaluated through the batched sweep.
+
+    One box per prefix size (``-inf`` lower limits outside the prefix), all
+    submitted against the shared factor in a single
+    :func:`~repro.core.pmvn.pmvn_integrate_batch` call, so the runtime
+    interleaves chain blocks across the prefixes instead of draining one
+    prefix at a time.  The chain block is pinned to the factor tile size, so
+    the per-chain arithmetic — and hence every probability — is identical to
+    the historical one-``pmvn_integrate``-per-prefix loop.
 
     Prefix sizes not in ``levels`` are filled by linear interpolation of the
     evaluated ones so the confidence function is defined everywhere.
@@ -262,17 +278,19 @@ def _sequential_joint_probabilities(
         sizes = np.arange(1, n + 1)
     else:
         sizes = np.unique(np.clip(np.asarray(levels, dtype=int), 1, n))
-    prob_at = np.empty(sizes.shape[0])
-    err_at = np.empty(sizes.shape[0])
     b = np.full(n, np.inf)
-    for idx, size in enumerate(sizes):
+    boxes = []
+    for size in sizes:
         a_vec = np.full(n, -np.inf)
         a_vec[:size] = a_std[:size]
-        options = PMVNOptions(n_samples=n_samples, qmc=qmc, rng=rng, timings=timings)
-        with timed(timings, "pmvn_sequential"):
-            result = pmvn_integrate(a_vec, b, factor, options, runtime=runtime)
-        prob_at[idx] = result.probability
-        err_at[idx] = result.error
+        boxes.append((a_vec, b))
+    options = PMVNOptions(
+        n_samples=n_samples, chain_block=factor.tile_size, qmc=qmc, rng=rng, timings=timings
+    )
+    with timed(timings, "pmvn_sequential"):
+        results = pmvn_integrate_batch(boxes, factor, options, runtime=runtime)
+    prob_at = np.array([result.probability for result in results])
+    err_at = np.array([result.error for result in results])
     all_sizes = np.arange(1, n + 1)
     prefix_prob = np.interp(all_sizes, sizes, prob_at)
     prefix_err = np.interp(all_sizes, sizes, err_at)

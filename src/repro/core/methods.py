@@ -1,0 +1,196 @@
+"""The single source of truth for the ``method=`` strings of the public API.
+
+:func:`repro.core.api.mvn_probability` (and its batched sibling) accept a
+small set of estimator names plus aliases.  To keep the docstring, the
+``ValueError`` raised for unknown names, and ``docs/methods.md`` from
+drifting apart, all three are generated from the :data:`METHOD_SPECS` tuple
+defined here — edit the tuple, and every surface follows
+(``tests/test_docs_examples.py`` enforces the sync).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MethodSpec",
+    "METHOD_SPECS",
+    "ACCEPTED_METHODS",
+    "PARALLEL_METHODS",
+    "canonical_method",
+    "check_factor_args",
+    "unknown_method_message",
+    "method_doc_lines",
+    "methods_markdown",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One accepted ``method=`` value of the MVN probability API.
+
+    Attributes
+    ----------
+    name : str
+        Canonical method name (what :class:`~repro.mvn.result.MVNResult`
+        reports and what the CLI offers).
+    aliases : tuple of str
+        Alternative spellings accepted by the API.
+    kind : str
+        ``"parallel"`` for the factor-based tile methods (these accept
+        ``factor=`` / ``cache=`` and the batched fast path), ``"baseline"``
+        for the single-node reference estimators.
+    summary : str
+        One-line description used in the docstring bullet list.
+    tradeoff : str
+        Accuracy/speed trade-off note for ``docs/methods.md``.
+    """
+
+    name: str
+    aliases: tuple[str, ...]
+    kind: str
+    summary: str
+    tradeoff: str
+
+
+METHOD_SPECS: tuple[MethodSpec, ...] = (
+    MethodSpec(
+        name="dense",
+        aliases=("pmvn", "pmvn-dense"),
+        kind="parallel",
+        summary=(
+            "tile-parallel PMVN with a dense tiled Cholesky "
+            "(the paper's reference parallel implementation)"
+        ),
+        tradeoff=(
+            "Exact factorization, so accuracy is limited only by the QMC sample "
+            "size; `O(n^3)` factorization cost and `O(n^2)` memory.  The default "
+            "choice up to a few thousand dimensions."
+        ),
+    ),
+    MethodSpec(
+        name="tlr",
+        aliases=("pmvn-tlr",),
+        kind="parallel",
+        summary="PMVN with the Tile Low-Rank Cholesky at ``accuracy``",
+        tradeoff=(
+            "Compresses off-diagonal tiles to rank `k`, cutting the factorization "
+            "and GEMM cost to roughly `O(n^2 k)`; introduces a controlled bias of "
+            "order `accuracy`.  The paper's large-scale configuration."
+        ),
+    ),
+    MethodSpec(
+        name="sov",
+        aliases=("sov-vectorized", "genz"),
+        kind="baseline",
+        summary="vectorized single-node Genz SOV baseline",
+        tradeoff=(
+            "Same estimator as PMVN but one dense Cholesky and one NumPy sweep; "
+            "no task parallelism, no tiling.  Fast and accurate for moderate `n`, "
+            "the reference the parallel methods are validated against."
+        ),
+    ),
+    MethodSpec(
+        name="sov-seq",
+        aliases=("sov_sequential",),
+        kind="baseline",
+        summary="scalar-loop Genz SOV (slow; testing only)",
+        tradeoff=(
+            "Literal transcription of the Genz recursion with Python loops; "
+            "orders of magnitude slower, kept as an executable specification."
+        ),
+    ),
+    MethodSpec(
+        name="mc",
+        aliases=("montecarlo",),
+        kind="baseline",
+        summary="naive Monte Carlo baseline",
+        tradeoff=(
+            "Draws full samples and counts box hits: `O(N^{-1/2})` convergence "
+            "and useless for small probabilities, but assumption-free — the "
+            "sanity check of last resort."
+        ),
+    ),
+)
+
+#: canonical method names, in documentation order
+ACCEPTED_METHODS: tuple[str, ...] = tuple(spec.name for spec in METHOD_SPECS)
+
+#: canonical names of the factor-based methods (accept ``factor=`` / ``cache=``)
+PARALLEL_METHODS: tuple[str, ...] = tuple(
+    spec.name for spec in METHOD_SPECS if spec.kind == "parallel"
+)
+
+_ALIAS_TABLE: dict[str, str] = {}
+for _spec in METHOD_SPECS:
+    _ALIAS_TABLE[_spec.name] = _spec.name
+    for _alias in _spec.aliases:
+        _ALIAS_TABLE[_alias] = _spec.name
+
+
+def unknown_method_message(method: str) -> str:
+    """The error message for an unrecognized ``method=`` value."""
+    expected = ", ".join(f"'{name}'" for name in ACCEPTED_METHODS)
+    return f"unknown method {method!r}; expected one of {expected}"
+
+
+def check_factor_args(method: str, factor=None, cache=None) -> None:
+    """Reject ``factor=`` / ``cache=`` for methods that never factorize.
+
+    Shared by the single-call and batched APIs so they accept the same
+    inputs and raise the same message.  ``method`` must already be
+    canonical.
+    """
+    if method not in PARALLEL_METHODS and (factor is not None or cache is not None):
+        raise ValueError(f"method {method!r} does not use a Cholesky factor; drop factor=/cache=")
+
+
+def canonical_method(method: str) -> str:
+    """Resolve a ``method=`` string (or alias) to its canonical name.
+
+    Raises
+    ------
+    ValueError
+        If the name matches no spec (message from
+        :func:`unknown_method_message`).
+    """
+    key = str(method).lower()
+    try:
+        return _ALIAS_TABLE[key]
+    except KeyError:
+        raise ValueError(unknown_method_message(method)) from None
+
+
+def method_doc_lines(indent: str = "        ") -> str:
+    """The bullet list of methods injected into the API docstrings."""
+    lines = []
+    for spec in METHOD_SPECS:
+        lines.append(f'{indent}* ``"{spec.name}"`` — {spec.summary},')
+    text = "\n".join(lines)
+    return text.rstrip(",") + "."
+
+
+def method_set_doc() -> str:
+    """The ``{"dense", "tlr", ...}`` set notation for the docstring signature."""
+    return "{" + ", ".join(f'"{name}"' for name in ACCEPTED_METHODS) + "}"
+
+
+def methods_markdown() -> str:
+    """Markdown documentation of every accepted method (for ``docs/methods.md``).
+
+    ``docs/methods.md`` embeds this block verbatim;
+    ``tests/test_docs_examples.py`` regenerates it and fails on drift.
+    """
+    out = []
+    for spec in METHOD_SPECS:
+        alias_text = ", ".join(f"`{alias}`" for alias in spec.aliases) or "—"
+        out.append(f"### `{spec.name}`")
+        out.append("")
+        out.append(f"*Aliases:* {alias_text} · *Kind:* {spec.kind}")
+        out.append("")
+        summary = spec.summary.replace("``", "`")
+        out.append(f"{summary[0].upper()}{summary[1:]}.")
+        out.append("")
+        out.append(spec.tradeoff)
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

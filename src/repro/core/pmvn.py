@@ -15,11 +15,22 @@ data handles and overlaps independent chain blocks / trailing updates across
 worker threads.  With a TLR factor the GEMM tasks apply the low-rank tiles
 (``U (V^T Y)``); everything else is unchanged, since ``A`` and ``B`` are not
 admissible for compression (as the paper notes).
+
+Batched evaluation
+------------------
+:func:`pmvn_integrate_batch` runs the sweep for *many* boxes against one
+pre-computed factor in a single task-graph submission: every box contributes
+its own chain blocks, and blocks from different boxes are interleaved in the
+submission order so worker threads stay saturated across box boundaries.
+Because each MC chain is independent, the per-chain probabilities are the
+same values a loop of single-box sweeps would produce — batching changes the
+schedule, not the estimator.  :func:`pmvn_integrate` is the single-box
+special case.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -30,8 +41,24 @@ from repro.runtime import AccessMode, DataHandle, Runtime
 from repro.stats.qmc import qmc_samples
 from repro.utils.timers import TimingRegistry, timed
 from repro.utils.validation import check_limits, check_positive_int
+from repro.utils.validation import ensure_1d
 
-__all__ = ["PMVNOptions", "pmvn_integrate", "pmvn_dense", "pmvn_tlr"]
+__all__ = [
+    "PMVNOptions",
+    "pmvn_integrate",
+    "pmvn_integrate_batch",
+    "pmvn_dense",
+    "pmvn_tlr",
+]
+
+#: default chain-block width of the batched sweep (wider blocks amortize the
+#: per-row Python overhead of the QMC kernel across more chains)
+BATCH_CHAIN_BLOCK = 512
+
+#: hard cap on the total workspace columns (chains) materialized at once by
+#: the batched sweep.  The four ``n x cols`` work matrices plus the variates
+#: cost ``~40 * n * cols`` bytes.
+BATCH_WORKSPACE_COLS = 4_000_000
 
 
 @dataclass
@@ -43,8 +70,9 @@ class PMVNOptions:
     n_samples : int
         QMC sample size ``N`` (the paper uses 100 / 1,000 / 10,000).
     chain_block : int, optional
-        Number of MC chains per column block (defaults to the factor tile
-        size, matching the square tiles of the paper).
+        Number of MC chains per column block.  Defaults to the factor tile
+        size for the single-box sweep (matching the square tiles of the
+        paper) and to :data:`BATCH_CHAIN_BLOCK` for the batched sweep.
     qmc : str
         QMC sequence name (``"richtmyer"``, ``"halton"``, ``"sobol"``,
         ``"random"``).
@@ -53,6 +81,10 @@ class PMVNOptions:
     return_prefix : bool
         Also estimate the joint probability of every prefix of the
         dimensions (used by the confidence-region driver).
+    max_workspace_cols : int, optional
+        Batched sweep only: cap on the total chains materialized at once
+        (defaults to :data:`BATCH_WORKSPACE_COLS` scaled by the dimension);
+        additional boxes are swept in waves through the same runtime.
     """
 
     n_samples: int = 10_000
@@ -60,6 +92,7 @@ class PMVNOptions:
     qmc: str = "richtmyer"
     rng: object = None
     return_prefix: bool = False
+    max_workspace_cols: int | None = None
     timings: TimingRegistry | None = field(default=None, repr=False)
 
 
@@ -68,6 +101,320 @@ def _gemm_limits_update(a_block: np.ndarray, b_block: np.ndarray, y_block: np.nd
     update = factor.apply_offdiag(j, r, y_block)
     a_block -= update
     b_block -= update
+
+
+def _resolve_means(means, n_boxes: int, n: int) -> list[np.ndarray]:
+    """Canonicalize the ``means`` argument of the batched sweep.
+
+    Accepts ``None`` (zero mean), a scalar or length-``n`` vector shared by
+    all boxes, a length-``n_boxes`` sequence of per-box scalars, or per-box
+    vectors as an ``(n_boxes, n)`` array / nested sequence.  A flat numeric
+    sequence whose length is both ``n`` and ``n_boxes`` is ambiguous and
+    rejected — disambiguate with a shape-``(n_boxes, n)`` array.
+    """
+    if means is None:
+        return [np.zeros(n)] * n_boxes
+
+    def _one(mean) -> np.ndarray:
+        if np.isscalar(mean):
+            return np.full(n, float(mean))
+        mu = ensure_1d(mean, "mean")
+        if mu.shape != (n,):
+            raise ValueError(f"mean must be a scalar or have shape ({n},), got {mu.shape}")
+        return mu
+
+    if np.isscalar(means):
+        return [_one(means)] * n_boxes
+    try:
+        arr = np.asarray(means, dtype=np.float64)
+    except (TypeError, ValueError):
+        arr = np.asarray(means, dtype=object)
+    if arr.dtype != object and arr.ndim == 1:
+        if arr.shape[0] == n == n_boxes:
+            raise ValueError(
+                f"means of length {n} is ambiguous (n == n_boxes): pass a shared mean "
+                f"as a scalar or an (n_boxes, n) array of per-box means"
+            )
+        if arr.shape[0] == n:
+            return [_one(arr)] * n_boxes
+        if arr.shape[0] == n_boxes:
+            return [_one(mean) for mean in arr]
+        raise ValueError(
+            f"means must be a scalar, a shared ({n},) vector, {n_boxes} per-box "
+            f"scalars, or an ({n_boxes}, {n}) array; got shape {arr.shape}"
+        )
+    if arr.dtype != object and arr.ndim == 2:
+        if arr.shape != (n_boxes, n):
+            raise ValueError(f"per-box means must have shape ({n_boxes}, {n}), got {arr.shape}")
+        return [np.ascontiguousarray(arr[i]) for i in range(n_boxes)]
+    seq = list(means)
+    if len(seq) != n_boxes:
+        raise ValueError(f"means must provide one entry per box ({n_boxes}), got {len(seq)}")
+    return [_one(mean) for mean in seq]
+
+
+def pmvn_integrate_batch(
+    boxes,
+    factor: CholeskyFactor,
+    options: PMVNOptions | None = None,
+    runtime: Runtime | None = None,
+    means=None,
+) -> list[MVNResult]:
+    """Estimate ``P(a_i <= X <= b_i)`` for many boxes sharing one factor.
+
+    This is the batched fast path behind
+    :func:`repro.batch.mvn_probability_batch` and the confidence-region
+    driver: the covariance is factorized *once* (by the caller), and the
+    PMVN sweeps of all boxes run through a single task-graph submission with
+    chain blocks from different boxes interleaved.
+
+    Each box draws its own QMC variates from ``options.rng`` in box order,
+    so the per-chain probabilities — and hence the estimates — match a loop
+    of :func:`pmvn_integrate` calls with the same seed.
+
+    Parameters
+    ----------
+    boxes : sequence of (a, b) pairs
+        Integration limits per box, each a pair of length-``factor.n``
+        vectors (``+/- inf`` allowed).
+    factor : CholeskyFactor
+        Dense-tile or TLR factor of the covariance (see
+        :func:`repro.core.factor.factorize`).
+    options : PMVNOptions
+        Sample size, chain block, QMC sequence, prefix output.
+    runtime : Runtime, optional
+        Task runtime shared by all boxes; defaults to serial execution.
+    means : optional
+        Mean vector(s), absorbed into the limits; see the batched sweep
+        docs (scalar / ``(n,)`` shared, or per-box sequence / 2-D array).
+
+    Returns
+    -------
+    list of MVNResult
+        One result per box, in input order.
+    """
+    options = options or PMVNOptions()
+    rt = runtime if runtime is not None else Runtime(n_workers=1)
+    n = factor.n
+    boxes = list(boxes)
+    n_boxes = len(boxes)
+    if n_boxes == 0:
+        return []
+    mus = _resolve_means(means, n_boxes, n)
+    limits: list[tuple[np.ndarray, np.ndarray]] = []
+    for idx, box in enumerate(boxes):
+        try:
+            a_raw, b_raw = box
+        except (TypeError, ValueError):
+            raise ValueError(f"box {idx} must be an (a, b) pair of limit vectors") from None
+        a_vec, b_vec = check_limits(a_raw, b_raw, n)
+        limits.append((a_vec - mus[idx], b_vec - mus[idx]))
+
+    n_samples = check_positive_int(options.n_samples, "n_samples")
+    if options.chain_block is not None:
+        chain_block = options.chain_block
+    else:
+        chain_block = max(factor.tile_size, min(BATCH_CHAIN_BLOCK, n_samples))
+    chain_block = check_positive_int(min(chain_block, n_samples), "chain_block")
+    timings = options.timings
+
+    # Memory governor: sweep ``boxes_per_wave`` boxes concurrently through the
+    # runtime, just enough chain blocks in flight to keep the workers
+    # saturated.  The workspace buffers are pooled and rewritten in place
+    # across waves, so the working set stays wave-sized (close to a single-box
+    # sweep) no matter how many boxes are queued — crucial because touching
+    # fresh pages is far slower than recycling warm ones.
+    chunks_per_box = -(-n_samples // chain_block)
+    target_blocks = max(4, 2 * rt.n_workers)
+    boxes_per_wave = max(1, -(-target_blocks // chunks_per_box))
+    max_cols = options.max_workspace_cols or max(n_samples, BATCH_WORKSPACE_COLS // max(n, 1))
+    boxes_per_wave = min(boxes_per_wave, max(1, int(max_cols) // n_samples), n_boxes)
+
+    workspace = _SweepWorkspace()
+    results: list[MVNResult | None] = [None] * n_boxes
+    for wave_start in range(0, n_boxes, boxes_per_wave):
+        wave = list(range(wave_start, min(wave_start + boxes_per_wave, n_boxes)))
+        _sweep_wave(wave, limits, factor, options, rt, n_samples, chain_block, timings, results, workspace)
+    return results  # type: ignore[return-value]
+
+
+class _SweepWorkspace:
+    """Pooled work buffers for the batched sweep, rewritten in place.
+
+    Allocating fresh workspace per wave would fault in new pages every time
+    (orders of magnitude slower than writing warm memory on some systems);
+    the pool pays the first-touch cost once and every later wave recycles
+    the same buffers.  Buffers are keyed by (role, block slot, row block),
+    and a wave whose tail chunk is narrower simply takes a column view.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+
+    def get(self, key: tuple, shape: tuple[int, ...]) -> np.ndarray:
+        buf = self._buffers.get(key)
+        if buf is None or any(have < want for have, want in zip(buf.shape, shape)):
+            buf = np.empty(shape)
+            self._buffers[key] = buf
+        return buf[tuple(slice(0, want) for want in shape)]
+
+
+def _sweep_wave(
+    wave: list[int],
+    limits: list[tuple[np.ndarray, np.ndarray]],
+    factor: CholeskyFactor,
+    options: PMVNOptions,
+    rt: Runtime,
+    n_samples: int,
+    chain_block: int,
+    timings: TimingRegistry | None,
+    results: list,
+    workspace: _SweepWorkspace,
+) -> None:
+    """Run one wave of boxes through the runtime and fill ``results``."""
+    n = factor.n
+    row_ranges = factor.row_ranges
+    n_row_blocks = len(row_ranges)
+
+    # chain (column) blocks, box-aligned; the submission order below
+    # interleaves same-position blocks across the boxes of the wave
+    chain_ranges = [(c0, min(c0 + chain_block, n_samples)) for c0 in range(0, n_samples, chain_block)]
+    n_chunks = len(chain_ranges)
+    blocks: list[tuple[int, int, int, int]] = [
+        (box, chunk, *chain_ranges[chunk]) for chunk in range(n_chunks) for box in wave
+    ]
+    n_blocks = len(blocks)
+
+    a_blocks: list[list[np.ndarray]] = []
+    b_blocks: list[list[np.ndarray]] = []
+    y_blocks: list[list[np.ndarray]] = []
+    r_blocks: list[list[np.ndarray]] = []
+    p_segments: list[np.ndarray] = []
+    prefix_sums = [np.zeros(n) for _ in range(n_blocks)] if options.return_prefix else None
+    prefix_sumsqs = [np.zeros(n) for _ in range(n_blocks)] if options.return_prefix else None
+
+    with timed(timings, "qmc_generation"):
+        # Uniform variates for the whole sweep; the SOV recursion consumes one
+        # row of uniforms per dimension (the last dimension's draw is unused).
+        # One draw per box, in box order, so a batched call consumes the rng
+        # exactly like the equivalent loop of single-box sweeps.
+        r_matrices = {
+            box: qmc_samples(n, n_samples, method=options.qmc, rng=options.rng)
+            for box in wave
+        }
+
+    with timed(timings, "workspace_setup"):
+        for slot, (box, _chunk, c0, c1) in enumerate(blocks):
+            width = c1 - c0
+            a_vec, b_vec = limits[box]
+            r_matrix = r_matrices[box]
+            a_col = []
+            b_col = []
+            y_col = []
+            r_col = []
+            for r_idx, (r0, r1) in enumerate(row_ranges):
+                rows = r1 - r0
+                a_tile = workspace.get(("a", slot, r_idx), (rows, width))
+                a_tile[...] = a_vec[r0:r1, None]
+                b_tile = workspace.get(("b", slot, r_idx), (rows, width))
+                b_tile[...] = b_vec[r0:r1, None]
+                y_tile = workspace.get(("y", slot, r_idx), (rows, width))
+                y_tile[...] = 0.0
+                r_tile = workspace.get(("r", slot, r_idx), (rows, width))
+                np.copyto(r_tile, r_matrix[r0:r1, c0:c1])
+                a_col.append(a_tile)
+                b_col.append(b_tile)
+                y_col.append(y_tile)
+                r_col.append(r_tile)
+            a_blocks.append(a_col)
+            b_blocks.append(b_col)
+            y_blocks.append(y_col)
+            r_blocks.append(r_col)
+            p_seg = workspace.get(("p", slot), (width,))
+            p_seg[...] = 1.0
+            p_segments.append(p_seg)
+    del r_matrices
+
+    # data handles for dependency inference
+    def _handles(payloads, tag):
+        return [
+            [DataHandle(payloads[k][r], name=f"{tag}[{r},{blocks[k][0]}.{blocks[k][1]}]") for r in range(n_row_blocks)]
+            for k in range(n_blocks)
+        ]
+
+    a_handles = _handles(a_blocks, "A")
+    b_handles = _handles(b_blocks, "B")
+    y_handles = _handles(y_blocks, "Y")
+    r_handles = _handles(r_blocks, "R")
+    p_handles = [DataHandle(p_segments[k], name=f"p[{blocks[k][0]}.{blocks[k][1]}]") for k in range(n_blocks)]
+    diag_handles = [DataHandle(factor.diag_tile(r), name=f"L[{r},{r}]") for r in range(n_row_blocks)]
+
+    def qmc_task(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, row_block: int, block_idx: int) -> None:
+        r0, r1 = row_ranges[row_block]
+        prefix = prefix_sums[block_idx][r0:r1] if prefix_sums is not None else None
+        prefix_sq = prefix_sumsqs[block_idx][r0:r1] if prefix_sumsqs is not None else None
+        qmc_kernel_tile(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, prefix_sum=prefix, prefix_sumsq=prefix_sq)
+
+    with timed(timings, "integration"):
+        # step (b): first row block
+        for k, (box, chunk, _c0, _c1) in enumerate(blocks):
+            rt.insert_task(
+                qmc_task,
+                (diag_handles[0], AccessMode.READ),
+                (r_handles[k][0], AccessMode.READ),
+                (a_handles[k][0], AccessMode.READWRITE),
+                (b_handles[k][0], AccessMode.READWRITE),
+                (p_handles[k], AccessMode.READWRITE),
+                (y_handles[k][0], AccessMode.READWRITE),
+                kwargs={"row_block": 0, "block_idx": k},
+                name=f"qmc(0,{box}.{chunk})",
+                priority=2 * n_row_blocks,
+                tag="qmc",
+            )
+        # steps (c)/(d): propagate and advance the remaining row blocks
+        for r in range(1, n_row_blocks):
+            for j in range(r, n_row_blocks):
+                for k, (box, chunk, _c0, _c1) in enumerate(blocks):
+                    rt.insert_task(
+                        _gemm_limits_update,
+                        (a_handles[k][j], AccessMode.READWRITE),
+                        (b_handles[k][j], AccessMode.READWRITE),
+                        (y_handles[k][r - 1], AccessMode.READ),
+                        kwargs={"factor": factor, "j": j, "r": r - 1},
+                        name=f"gemm({j},{box}.{chunk},{r - 1})",
+                        priority=2 * (n_row_blocks - r) + 1,
+                        tag="gemm",
+                    )
+            for k, (box, chunk, _c0, _c1) in enumerate(blocks):
+                rt.insert_task(
+                    qmc_task,
+                    (diag_handles[r], AccessMode.READ),
+                    (r_handles[k][r], AccessMode.READ),
+                    (a_handles[k][r], AccessMode.READWRITE),
+                    (b_handles[k][r], AccessMode.READWRITE),
+                    (p_handles[k], AccessMode.READWRITE),
+                    (y_handles[k][r], AccessMode.READWRITE),
+                    kwargs={"row_block": r, "block_idx": k},
+                    name=f"qmc({r},{box}.{chunk})",
+                    priority=2 * (n_row_blocks - r),
+                    tag="qmc",
+                )
+        rt.wait_all()
+
+    for box in wave:
+        own = [k for k, blk in enumerate(blocks) if blk[0] == box]
+        chain_values = np.concatenate([p_segments[k] for k in own])
+        estimate = float(chain_values.mean())
+        std_err = float(chain_values.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0
+        details: dict = {"chain_block": chain_block, "n_row_blocks": n_row_blocks}
+        if options.return_prefix:
+            total_sum = np.sum([prefix_sums[k] for k in own], axis=0)
+            total_sumsq = np.sum([prefix_sumsqs[k] for k in own], axis=0)
+            prefix_mean = total_sum / n_samples
+            prefix_var = np.maximum(total_sumsq / n_samples - prefix_mean**2, 0.0)
+            details["prefix_probabilities"] = prefix_mean
+            details["prefix_errors"] = np.sqrt(prefix_var / n_samples)
+        results[box] = MVNResult(estimate, std_err, n_samples, n, method="pmvn", details=details)
 
 
 def pmvn_integrate(
@@ -81,7 +428,8 @@ def pmvn_integrate(
     """Estimate ``P(a <= X <= b)`` given a pre-computed Cholesky factor.
 
     This is the function Algorithm 1 calls repeatedly with the same factor
-    and different limit vectors.
+    and different limit vectors — the single-box case of
+    :func:`pmvn_integrate_batch`.
 
     Parameters
     ----------
@@ -98,130 +446,18 @@ def pmvn_integrate(
         Mean vector, absorbed into the limits.
     """
     options = options or PMVNOptions()
-    rt = runtime if runtime is not None else Runtime(n_workers=1)
-    n = factor.n
-    a, b = check_limits(a, b, n)
-    mu = np.full(n, float(mean)) if np.isscalar(mean) else np.asarray(mean, dtype=np.float64)
-    if mu.shape != (n,):
-        raise ValueError(f"mean must have shape ({n},)")
-    a = a - mu
-    b = b - mu
-    n_samples = check_positive_int(options.n_samples, "n_samples")
-    chain_block = options.chain_block or factor.tile_size
-    chain_block = check_positive_int(min(chain_block, n_samples), "chain_block")
-    timings = options.timings
-
-    row_ranges = factor.row_ranges
-    n_row_blocks = len(row_ranges)
-
-    with timed(timings, "qmc_generation"):
-        # Uniform variates for the whole sweep; the SOV recursion consumes one
-        # row of uniforms per dimension (the last dimension's draw is unused).
-        r_matrix = qmc_samples(n, n_samples, method=options.qmc, rng=options.rng)
-
-    # chain (column) blocks
-    chain_ranges = [(c0, min(c0 + chain_block, n_samples)) for c0 in range(0, n_samples, chain_block)]
-    n_chain_blocks = len(chain_ranges)
-
-    with timed(timings, "workspace_setup"):
-        a_blocks: list[list[np.ndarray]] = []
-        b_blocks: list[list[np.ndarray]] = []
-        y_blocks: list[list[np.ndarray]] = []
-        r_blocks: list[list[np.ndarray]] = []
-        p_segments: list[np.ndarray] = []
-        prefix_sums = [np.zeros(n) for _ in range(n_chain_blocks)] if options.return_prefix else None
-        prefix_sumsqs = [np.zeros(n) for _ in range(n_chain_blocks)] if options.return_prefix else None
-        for k, (c0, c1) in enumerate(chain_ranges):
-            width = c1 - c0
-            a_col = []
-            b_col = []
-            y_col = []
-            r_col = []
-            for r, (r0, r1) in enumerate(row_ranges):
-                rows = r1 - r0
-                a_col.append(np.repeat(a[r0:r1, None], width, axis=1))
-                b_col.append(np.repeat(b[r0:r1, None], width, axis=1))
-                y_col.append(np.zeros((rows, width)))
-                r_col.append(np.ascontiguousarray(r_matrix[r0:r1, c0:c1]))
-            a_blocks.append(a_col)
-            b_blocks.append(b_col)
-            y_blocks.append(y_col)
-            r_blocks.append(r_col)
-            p_segments.append(np.ones(width))
-
-    # data handles for dependency inference
-    a_handles = [[DataHandle(a_blocks[k][r], name=f"A[{r},{k}]") for r in range(n_row_blocks)] for k in range(n_chain_blocks)]
-    b_handles = [[DataHandle(b_blocks[k][r], name=f"B[{r},{k}]") for r in range(n_row_blocks)] for k in range(n_chain_blocks)]
-    y_handles = [[DataHandle(y_blocks[k][r], name=f"Y[{r},{k}]") for r in range(n_row_blocks)] for k in range(n_chain_blocks)]
-    r_handles = [[DataHandle(r_blocks[k][r], name=f"R[{r},{k}]") for r in range(n_row_blocks)] for k in range(n_chain_blocks)]
-    p_handles = [DataHandle(p_segments[k], name=f"p[{k}]") for k in range(n_chain_blocks)]
-    diag_handles = [DataHandle(factor.diag_tile(r), name=f"L[{r},{r}]") for r in range(n_row_blocks)]
-
-    def qmc_task(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, row_block: int, chain_block_idx: int) -> None:
-        r0, r1 = row_ranges[row_block]
-        prefix = prefix_sums[chain_block_idx][r0:r1] if prefix_sums is not None else None
-        prefix_sq = prefix_sumsqs[chain_block_idx][r0:r1] if prefix_sumsqs is not None else None
-        qmc_kernel_tile(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, prefix_sum=prefix, prefix_sumsq=prefix_sq)
-
-    with timed(timings, "integration"):
-        # step (b): first row block
-        for k in range(n_chain_blocks):
-            rt.insert_task(
-                qmc_task,
-                (diag_handles[0], AccessMode.READ),
-                (r_handles[k][0], AccessMode.READ),
-                (a_handles[k][0], AccessMode.READWRITE),
-                (b_handles[k][0], AccessMode.READWRITE),
-                (p_handles[k], AccessMode.READWRITE),
-                (y_handles[k][0], AccessMode.READWRITE),
-                kwargs={"row_block": 0, "chain_block_idx": k},
-                name=f"qmc(0,{k})",
-                priority=2 * n_row_blocks,
-                tag="qmc",
-            )
-        # steps (c)/(d): propagate and advance the remaining row blocks
-        for r in range(1, n_row_blocks):
-            for j in range(r, n_row_blocks):
-                for k in range(n_chain_blocks):
-                    rt.insert_task(
-                        _gemm_limits_update,
-                        (a_handles[k][j], AccessMode.READWRITE),
-                        (b_handles[k][j], AccessMode.READWRITE),
-                        (y_handles[k][r - 1], AccessMode.READ),
-                        kwargs={"factor": factor, "j": j, "r": r - 1},
-                        name=f"gemm({j},{k},{r - 1})",
-                        priority=2 * (n_row_blocks - r) + 1,
-                        tag="gemm",
-                    )
-            for k in range(n_chain_blocks):
-                rt.insert_task(
-                    qmc_task,
-                    (diag_handles[r], AccessMode.READ),
-                    (r_handles[k][r], AccessMode.READ),
-                    (a_handles[k][r], AccessMode.READWRITE),
-                    (b_handles[k][r], AccessMode.READWRITE),
-                    (p_handles[k], AccessMode.READWRITE),
-                    (y_handles[k][r], AccessMode.READWRITE),
-                    kwargs={"row_block": r, "chain_block_idx": k},
-                    name=f"qmc({r},{k})",
-                    priority=2 * (n_row_blocks - r),
-                    tag="qmc",
-                )
-        rt.wait_all()
-
-    chain_values = np.concatenate(p_segments)
-    estimate = float(chain_values.mean())
-    std_err = float(chain_values.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0
-
-    details: dict = {"chain_block": chain_block, "n_row_blocks": n_row_blocks}
-    if options.return_prefix:
-        total_sum = np.sum(prefix_sums, axis=0)
-        total_sumsq = np.sum(prefix_sumsqs, axis=0)
-        prefix_mean = total_sum / n_samples
-        prefix_var = np.maximum(total_sumsq / n_samples - prefix_mean**2, 0.0)
-        details["prefix_probabilities"] = prefix_mean
-        details["prefix_errors"] = np.sqrt(prefix_var / n_samples)
-    return MVNResult(estimate, std_err, n_samples, n, method="pmvn", details=details)
+    if options.chain_block is None:
+        # the single-box sweep keeps the paper's square-tile chain blocks
+        options = replace(options, chain_block=factor.tile_size)
+    if np.isscalar(mean):
+        means = mean
+    else:
+        arr = np.asarray(mean, dtype=np.float64)
+        # hand a scalar or an explicit (1, n) per-box row to the batched
+        # resolver — never a flat length-1 sequence, which it would flag as
+        # ambiguous for 1-dimensional problems (n == n_boxes == 1)
+        means = float(arr) if arr.ndim == 0 else arr[None, :]
+    return pmvn_integrate_batch([(a, b)], factor, options, runtime=runtime, means=means)[0]
 
 
 def pmvn_dense(
@@ -236,9 +472,18 @@ def pmvn_dense(
     rng=None,
     timings: TimingRegistry | None = None,
     chain_block: int | None = None,
+    factor: CholeskyFactor | None = None,
 ) -> MVNResult:
-    """Dense tile-parallel MVN probability (tiled Cholesky + PMVN sweep)."""
-    factor = factorize(sigma, method="dense", tile_size=tile_size, runtime=runtime, timings=timings)
+    """Dense tile-parallel MVN probability (tiled Cholesky + PMVN sweep).
+
+    Pass ``factor=`` (e.g. from :func:`repro.core.factor.factorize` or a
+    :class:`repro.batch.FactorCache`) to reuse a factorization and skip the
+    Cholesky entirely.
+    """
+    if factor is None:
+        factor = factorize(sigma, method="dense", tile_size=tile_size, runtime=runtime, timings=timings)
+    elif not isinstance(factor, CholeskyFactor):
+        raise TypeError(f"factor must be a CholeskyFactor, got {type(factor).__name__}")
     options = PMVNOptions(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng, timings=timings
     )
@@ -263,18 +508,26 @@ def pmvn_tlr(
     timings: TimingRegistry | None = None,
     chain_block: int | None = None,
     compression: str = "svd",
+    factor: CholeskyFactor | None = None,
 ) -> MVNResult:
-    """TLR-accelerated MVN probability (TLR Cholesky + PMVN sweep)."""
-    factor = factorize(
-        sigma,
-        method="tlr",
-        tile_size=tile_size,
-        accuracy=accuracy,
-        max_rank=max_rank,
-        runtime=runtime,
-        timings=timings,
-        compression=compression,
-    )
+    """TLR-accelerated MVN probability (TLR Cholesky + PMVN sweep).
+
+    Pass ``factor=`` to reuse a pre-computed TLR factorization and skip both
+    the compression and the Cholesky.
+    """
+    if factor is None:
+        factor = factorize(
+            sigma,
+            method="tlr",
+            tile_size=tile_size,
+            accuracy=accuracy,
+            max_rank=max_rank,
+            runtime=runtime,
+            timings=timings,
+            compression=compression,
+        )
+    elif not isinstance(factor, CholeskyFactor):
+        raise TypeError(f"factor must be a CholeskyFactor, got {type(factor).__name__}")
     options = PMVNOptions(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng, timings=timings
     )

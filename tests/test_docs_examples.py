@@ -1,0 +1,129 @@
+"""Executable documentation: doctests, README/docs snippets, drift guards.
+
+Three layers keep the documentation honest:
+
+* the doctest examples embedded in the package docstrings run as tests,
+* every fenced ``python`` block in ``README.md`` and ``docs/batch.md`` is
+  executed in a fresh namespace (the snippets contain their own asserts),
+* the ``method=`` registry (:mod:`repro.core.methods`) is checked against
+  the ``mvn_probability`` docstring, the ``ValueError`` text, and the
+  generated block of ``docs/methods.md`` — one shared tuple, no drift.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.batch
+import repro.batch.batched
+import repro.batch.cache
+from repro.core.methods import (
+    ACCEPTED_METHODS,
+    METHOD_SPECS,
+    canonical_method,
+    methods_markdown,
+    unknown_method_message,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _python_blocks(path: Path) -> list[str]:
+    blocks = re.findall(r"```python\n(.*?)```", path.read_text(), flags=re.DOTALL)
+    assert blocks, f"{path} contains no fenced python blocks"
+    return blocks
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module",
+        [repro, repro.batch, repro.batch.batched, repro.batch.cache],
+        ids=lambda m: m.__name__,
+    )
+    def test_module_doctests(self, module):
+        outcome = doctest.testmod(module, verbose=False)
+        assert outcome.attempted > 0, f"{module.__name__} has no doctest examples"
+        assert outcome.failed == 0
+
+
+class TestDocumentSnippets:
+    @pytest.mark.parametrize("name", ["README.md", "docs/batch.md"])
+    def test_python_blocks_execute(self, name):
+        for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):
+            namespace: dict = {}
+            try:
+                exec(compile(block, f"{name}[block {idx}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                pytest.fail(f"{name} python block {idx} failed: {exc!r}\n{block}")
+
+    def test_readme_links_resolve(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for target in re.findall(r"\]\((docs/[^)#]+)", readme):
+            assert (REPO_ROOT / target).is_file(), f"README links to missing {target}"
+        assert "## Glossary" in readme
+        for term in ("SOV", "PMVN", "TLR", "CRD", "Chain block"):
+            assert term in readme, f"glossary term {term} missing from README"
+
+
+class TestMethodRegistrySync:
+    def test_docstring_lists_every_method(self):
+        doc = repro.mvn_probability.__doc__
+        for spec in METHOD_SPECS:
+            assert f'``"{spec.name}"``' in doc, f"{spec.name} missing from docstring"
+        assert "__METHOD_LIST__" not in doc and "__METHOD_SET__" not in doc
+
+    def test_error_message_generated_from_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            repro.mvn_probability([0.0], [1.0], [[1.0]], method="nope")
+        assert str(excinfo.value) == unknown_method_message("nope")
+        for name in ACCEPTED_METHODS:
+            assert f"'{name}'" in str(excinfo.value)
+
+    def test_aliases_resolve(self):
+        for spec in METHOD_SPECS:
+            assert canonical_method(spec.name) == spec.name
+            for alias in spec.aliases:
+                assert canonical_method(alias) == spec.name
+            assert canonical_method(spec.name.upper()) == spec.name
+
+    def test_methods_md_matches_generator(self):
+        text = (REPO_ROOT / "docs" / "methods.md").read_text()
+        marker = re.search(
+            r"<!-- BEGIN GENERATED METHODS.*?-->\n(.*?)<!-- END GENERATED METHODS -->",
+            text,
+            flags=re.DOTALL,
+        )
+        assert marker, "docs/methods.md lost its GENERATED markers"
+        assert marker.group(1).strip() == methods_markdown().strip(), (
+            "docs/methods.md is out of date; regenerate with "
+            "python -c 'from repro.core.methods import methods_markdown; print(methods_markdown())'"
+        )
+
+    def test_methods_md_mentions_every_benchmark(self):
+        text = (REPO_ROOT / "docs" / "methods.md").read_text()
+        for script in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+            assert script.name in text, f"{script.name} missing from docs/methods.md"
+
+    def test_cli_choices_match_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        seen = []
+        for sub in parser._subparsers._group_actions:
+            for name, choice in sub.choices.items():
+                for action in choice._actions:
+                    if action.dest != "method":
+                        continue
+                    seen.append(name)
+                    if name in ("mvn", "batch"):
+                        # the general-purpose subcommands offer the full registry
+                        assert tuple(action.choices) == ACCEPTED_METHODS, name
+                    else:
+                        # specialized subcommands may restrict, never invent
+                        assert set(action.choices) <= set(ACCEPTED_METHODS), name
+        assert {"mvn", "batch"} <= set(seen)
