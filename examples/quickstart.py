@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from repro import Runtime, mvn_probability
+from repro import MVNSolver, SolverConfig
 from repro.kernels import ExponentialKernel, Geometry, build_covariance
 
 
@@ -34,20 +34,23 @@ def main() -> None:
     a = np.full(n, -np.inf)
     b = np.full(n, 3.0)
 
-    # 3. Estimate with every method.
-    runtime = Runtime(n_workers=4, policy="prio")
-    methods = [
-        ("mc", dict(n_samples=20_000)),
-        ("sov", dict(n_samples=2_000)),
-        ("dense", dict(n_samples=2_000, tile_size=150, runtime=runtime)),
-        ("tlr", dict(n_samples=2_000, tile_size=150, accuracy=1e-3, runtime=runtime)),
+    # 3. Estimate with every method.  Each estimator gets its own solver
+    #    session (the solver owns the worker pool and the factor cache; the
+    #    model binds the covariance and factorizes lazily on first use).
+    configs = [
+        SolverConfig(method="mc", n_samples=20_000),
+        SolverConfig(method="sov", n_samples=2_000),
+        SolverConfig(method="dense", n_samples=2_000, tile_size=150),
+        SolverConfig(method="tlr", n_samples=2_000, tile_size=150, accuracy=1e-3),
     ]
     print(f"\n{'method':10s} {'probability':>14s} {'std error':>12s} {'time':>9s}")
-    for name, kwargs in methods:
-        start = time.perf_counter()
-        result = mvn_probability(a, b, sigma, method=name, rng=42, **kwargs)
-        elapsed = time.perf_counter() - start
-        print(f"{name:10s} {result.probability:14.6f} {result.error:12.2e} {elapsed:8.2f}s")
+    for config in configs:
+        with MVNSolver(config, n_workers=4, policy="prio") as solver:
+            model = solver.model(sigma)
+            start = time.perf_counter()
+            result = model.probability(a, b, rng=42)
+            elapsed = time.perf_counter() - start
+        print(f"{config.method:10s} {result.probability:14.6f} {result.error:12.2e} {elapsed:8.2f}s")
 
     print(
         "\nAll estimators agree within their Monte Carlo error; the TLR method"

@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from repro import Runtime, pmvn_dense, pmvn_tlr
+from repro import MVNSolver, SolverConfig
 from repro.distributed import ClusterSpec, DistributedPMVNModel
 from repro.distributed.pmvn_model import KernelRates
 from repro.kernels import ExponentialKernel, Geometry, build_covariance
@@ -28,16 +28,16 @@ from repro.utils.reporting import Table
 
 
 def measure(sigma, method, n_samples, n_workers):
+    """Time one probability (factorization + sweep) through a fresh solver."""
     n = sigma.shape[0]
     a, b = np.full(n, -np.inf), np.full(n, 0.5)
-    runtime = Runtime(n_workers=n_workers)
-    start = time.perf_counter()
-    if method == "dense":
-        pmvn_dense(a, b, sigma, n_samples=n_samples, tile_size=max(100, n // 8), runtime=runtime, rng=0)
-    else:
-        pmvn_tlr(a, b, sigma, n_samples=n_samples, tile_size=max(100, n // 8), accuracy=1e-3,
-                 runtime=runtime, rng=0)
-    return time.perf_counter() - start
+    config = SolverConfig(method=method, n_samples=n_samples,
+                          tile_size=max(100, n // 8), accuracy=1e-3)
+    with MVNSolver(config, n_workers=n_workers) as solver:
+        model = solver.model(sigma)
+        start = time.perf_counter()
+        model.probability(a, b, rng=0)
+        return time.perf_counter() - start
 
 
 def main() -> None:

@@ -19,7 +19,7 @@ import sys
 
 import numpy as np
 
-from repro import Runtime, confidence_region
+from repro import MVNSolver, Runtime, SolverConfig
 from repro.datasets import make_synthetic_dataset
 from repro.excursion import (
     compare_confidence_functions,
@@ -37,15 +37,18 @@ def main(level: str = "medium") -> None:
     print(f"n = {dataset.n} locations, {dataset.observed_indices.size} noisy observations, "
           f"threshold u = {threshold:.3f}")
 
+    # Two solver sessions (dense and TLR backends) sharing one borrowed
+    # worker pool; each binds the posterior field once and detects from it.
     runtime = Runtime(n_workers=4)
-    common = dict(n_samples=3_000, tile_size=96, rng=7, runtime=runtime)
-    dense = confidence_region(
-        dataset.posterior.covariance, dataset.posterior.mean, threshold, method="dense", **common
-    )
-    tlr = confidence_region(
-        dataset.posterior.covariance, dataset.posterior.mean, threshold,
-        method="tlr", accuracy=1e-3, **common,
-    )
+    common = dict(n_samples=3_000, tile_size=96)
+    with MVNSolver(SolverConfig(method="dense", **common), runtime=runtime) as solver:
+        dense = solver.model(
+            dataset.posterior.covariance, mean=dataset.posterior.mean
+        ).confidence_region(threshold, rng=7)
+    with MVNSolver(SolverConfig(method="tlr", accuracy=1e-3, **common), runtime=runtime) as solver:
+        tlr = solver.model(
+            dataset.posterior.covariance, mean=dataset.posterior.mean
+        ).confidence_region(threshold, rng=7)
 
     alpha = 0.25
     marginal_img = marginal_probability_map(

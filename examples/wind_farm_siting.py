@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Runtime, confidence_region
+from repro import MVNSolver, Runtime, SolverConfig
 from repro.datasets import make_wind_dataset
 from repro.excursion import excursion_map, marginal_probability_map, region_overlap
 from repro.kernels import build_covariance
@@ -54,16 +54,20 @@ def main() -> None:
     print("\n(b) marginal probability P(wind > 4 m/s):")
     print(ascii_heatmap(marginal_img))
 
+    # Dense and TLR solver sessions over one borrowed worker pool; each
+    # model binds the fitted field (covariance + standardized mean) once.
     runtime = Runtime(n_workers=4)
-    dense = confidence_region(
-        sigma, wind.standardized, wind.standardized_threshold,
-        method="dense", n_samples=2_000, tile_size=144, rng=5, runtime=runtime,
-    )
-    tlr = confidence_region(
-        sigma, wind.standardized, wind.standardized_threshold,
-        method="tlr", accuracy=1e-4, max_rank=145, n_samples=2_000, tile_size=144, rng=5,
-        runtime=runtime,
-    )
+    with MVNSolver(SolverConfig(method="dense", n_samples=2_000, tile_size=144),
+                   runtime=runtime) as solver:
+        dense = solver.model(sigma, mean=wind.standardized).confidence_region(
+            wind.standardized_threshold, rng=5
+        )
+    with MVNSolver(SolverConfig(method="tlr", accuracy=1e-4, max_rank=145,
+                                n_samples=2_000, tile_size=144),
+                   runtime=runtime) as solver:
+        tlr = solver.model(sigma, mean=wind.standardized).confidence_region(
+            wind.standardized_threshold, rng=5
+        )
 
     alpha = 0.05
     dense_img = excursion_map(wind.geometry, dense, alpha)

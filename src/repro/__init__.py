@@ -11,6 +11,9 @@ Abdulah, Cao, Ltaief, Sun, Genton and Keyes.  The package provides:
   :mod:`repro.fields`),
 * the paper's contribution — parallel SOV/PMVN and confidence region
   detection (:mod:`repro.core`, :mod:`repro.excursion`),
+* the session-oriented solver front door — config + runtime + factor cache
+  bound into long-lived ``MVNSolver`` / ``Model`` objects
+  (:mod:`repro.solver`),
 * batched many-query evaluation with a factorization cache
   (:mod:`repro.batch`),
 * datasets, a simulated distributed-memory cluster and performance models
@@ -18,9 +21,23 @@ Abdulah, Cao, Ltaief, Sun, Genton and Keyes.  The package provides:
 
 Quick start
 -----------
+The session API is the canonical entry point: an :class:`MVNSolver` owns
+the runtime and the factor cache, and a :class:`Model` binds a covariance
+to a (lazily) pre-factorized representation shared by all its queries:
+
 >>> import numpy as np
->>> from repro import mvn_probability
+>>> from repro import MVNSolver, SolverConfig
 >>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> with MVNSolver(SolverConfig(method="dense", n_samples=2000)) as solver:
+...     model = solver.model(sigma)
+...     result = model.probability([-np.inf, -np.inf], [0.0, 0.0], rng=0)
+>>> abs(result.probability - 1/3) < 0.02
+True
+
+One-shot calls can use the functional wrappers (same results, rebuilt
+machinery per call):
+
+>>> from repro import mvn_probability
 >>> result = mvn_probability([-np.inf, -np.inf], [0.0, 0.0], sigma,
 ...                          method="sov", n_samples=2000, rng=0)
 >>> abs(result.probability - 1/3) < 0.02
@@ -44,10 +61,14 @@ from repro.core.factor import factorize
 from repro.batch import FactorCache
 from repro.mvn import MVNResult, mvn_mc, mvn_sov, mvn_sov_vectorized
 from repro.runtime import Runtime
+from repro.solver import Model, MVNSolver, SolverConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "MVNSolver",
+    "Model",
+    "SolverConfig",
     "mvn_probability",
     "mvn_probability_batch",
     "FactorCache",

@@ -20,8 +20,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.batch.cache import FactorCache
-from repro.core.factor import CholeskyFactor, factorize
-from repro.core.methods import PARALLEL_METHODS, canonical_method, check_factor_args
+from repro.core.factor import CholeskyFactor
+from repro.core.methods import check_factor_args
 from repro.core.pmvn import PMVNOptions, _resolve_means, pmvn_integrate_batch
 from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
@@ -140,18 +140,31 @@ def mvn_probability_batch(
     list of MVNResult
         One result per box, in input order.  Each carries
         ``details["batch_index"]`` and ``details["batch_size"]``.
+
+    Notes
+    -----
+    This is a thin wrapper over the session API: it builds a transient
+    :class:`repro.solver.MVNSolver` around the call.  Workloads issuing many
+    batches against the same covariance should hold a solver (and its factor
+    cache) open instead — see ``docs/solver.md``.
     """
-    method = canonical_method(method)
-    check_factor_args(method, factor, cache)
-    boxes = list(boxes)
-    if method not in PARALLEL_METHODS:
-        results = _baseline_loop(boxes, sigma, method, n_samples, means, qmc, rng)
-    else:
-        results = _batched_parallel(
-            boxes, sigma, method, n_samples, means, n_workers, tile_size, accuracy,
-            max_rank, qmc, rng, runtime, factor, cache, chain_block,
-            max_workspace_cols, timings,
+    # imported late: repro.solver builds on this module's internals
+    from repro.solver import MVNSolver, SolverConfig
+
+    config = SolverConfig(
+        method=method, n_samples=n_samples, tile_size=tile_size,
+        accuracy=accuracy, max_rank=max_rank, qmc=qmc,
+        chain_block=chain_block, max_workspace_cols=max_workspace_cols,
+    )
+    check_factor_args(config.method, factor, cache)
+    with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:
+        return solver.model(sigma, factor=factor).probability_batch(
+            boxes, means=means, rng=rng, timings=timings
         )
+
+
+def _stamp_batch_details(results: list[MVNResult]) -> list[MVNResult]:
+    """Record each result's position in its batch (shared by both APIs)."""
     for idx, result in enumerate(results):
         result.details["batch_index"] = idx
         result.details["batch_size"] = len(results)
@@ -178,31 +191,22 @@ def _baseline_loop(boxes, sigma, method, n_samples, means, qmc, rng) -> list[MVN
 
 
 def _batched_parallel(
-    boxes, sigma, method, n_samples, means, n_workers, tile_size, accuracy,
-    max_rank, qmc, rng, runtime, factor, cache, chain_block,
-    max_workspace_cols, timings,
+    boxes, method, n_samples, means, accuracy, qmc, rng, runtime,
+    factor, chain_block, max_workspace_cols, timings,
 ) -> list[MVNResult]:
-    """The factorize-once fast path shared by ``"dense"`` and ``"tlr"``."""
-    rt = runtime if runtime is not None else (Runtime(n_workers=n_workers) if n_workers > 1 else None)
-    if factor is None:
-        sigma = np.asarray(sigma, dtype=np.float64)
-        if cache is not None:
-            factor = cache.get_or_factorize(
-                sigma, method=method, tile_size=tile_size, accuracy=accuracy,
-                max_rank=max_rank, runtime=rt, timings=timings,
-            )
-        else:
-            factor = factorize(
-                sigma, method=method, tile_size=tile_size, accuracy=accuracy,
-                max_rank=max_rank, runtime=rt, timings=timings,
-            )
-    elif not isinstance(factor, CholeskyFactor):
+    """The batched sweep shared by ``"dense"`` and ``"tlr"``.
+
+    The caller (:meth:`repro.solver.Model.probability_batch`) owns the
+    factorization and the runtime; this helper only runs the sweep and
+    stamps the per-result metadata.
+    """
+    if not isinstance(factor, CholeskyFactor):
         raise TypeError(f"factor must be a CholeskyFactor, got {type(factor).__name__}")
     options = PMVNOptions(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
         max_workspace_cols=max_workspace_cols, timings=timings,
     )
-    results = pmvn_integrate_batch(boxes, factor, options, runtime=rt, means=means)
+    results = pmvn_integrate_batch(boxes, factor, options, runtime=runtime, means=means)
     for result in results:
         result.method = f"pmvn-{method}"
         result.details["tile_size"] = factor.tile_size

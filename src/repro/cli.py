@@ -17,9 +17,12 @@ Three subcommands cover the library's main workflows without writing Python:
 ``repro calibrate``
     Measure the local kernel rates used by the performance models.
 
-The CLI is intentionally thin: it parses arguments, calls the same public
-API the examples use, and prints the plain-text tables from
-:mod:`repro.utils.reporting`.
+The CLI is intentionally thin: it parses arguments, builds exactly one
+:class:`repro.solver.MVNSolver` per invocation (the same session API the
+examples use), and prints the plain-text tables from
+:mod:`repro.utils.reporting`.  The runtime flags (``--workers``,
+``--policy``) live in one shared parent parser so every subcommand spells
+them identically.
 """
 
 from __future__ import annotations
@@ -35,6 +38,15 @@ from repro.core.methods import ACCEPTED_METHODS
 __all__ = ["main", "build_parser"]
 
 
+def _runtime_parent() -> argparse.ArgumentParser:
+    """Shared ``--workers`` / ``--policy`` flags for every solver subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=1, help="runtime worker threads")
+    parent.add_argument("--policy", default="prio", choices=["fifo", "prio", "locality"],
+                        help="runtime scheduling policy")
+    return parent
+
+
 def _add_mvn_problem_args(parser: argparse.ArgumentParser) -> None:
     """Options shared by the ``mvn`` and ``batch`` subcommands."""
     parser.add_argument("--covariance", type=Path, help=".npy/.npz file with the covariance matrix")
@@ -44,7 +56,6 @@ def _add_mvn_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--samples", type=int, default=2000, help="MC/QMC sample size")
     parser.add_argument("--tile-size", type=int, default=None)
     parser.add_argument("--accuracy", type=float, default=1e-3, help="TLR compression accuracy")
-    parser.add_argument("--workers", type=int, default=1, help="runtime worker threads")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -54,13 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Parallel high-dimensional MVN probabilities and confidence region detection",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    runtime_parent = _runtime_parent()
 
-    mvn = sub.add_parser("mvn", help="estimate an MVN probability")
+    mvn = sub.add_parser("mvn", help="estimate an MVN probability", parents=[runtime_parent])
     _add_mvn_problem_args(mvn)
     mvn.add_argument("--upper", type=float, default=1.0, help="upper limit applied to every dimension")
     mvn.add_argument("--lower", type=float, default=None, help="lower limit (default -inf)")
 
-    batch = sub.add_parser("batch", help="evaluate many MVN boxes against one covariance")
+    batch = sub.add_parser("batch", help="evaluate many MVN boxes against one covariance",
+                           parents=[runtime_parent])
     _add_mvn_problem_args(batch)
     batch.add_argument("--boxes", type=Path, required=True,
                        help="box file: .npz with lower/upper arrays, .npy with an "
@@ -68,7 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--save", type=Path, default=None,
                        help="save per-box probabilities/errors to this .npz path")
 
-    crd = sub.add_parser("crd", help="confidence region detection on a synthetic dataset")
+    crd = sub.add_parser("crd", help="confidence region detection on a synthetic dataset",
+                         parents=[runtime_parent])
     crd.add_argument("--correlation", default="medium", help="weak / medium / strong or a range value")
     crd.add_argument("--grid", type=int, default=20, help="grid side of the synthetic dataset")
     crd.add_argument("--threshold-quantile", type=float, default=0.6,
@@ -77,7 +91,6 @@ def build_parser() -> argparse.ArgumentParser:
     crd.add_argument("--method", default="tlr", choices=["dense", "tlr"])
     crd.add_argument("--accuracy", type=float, default=1e-3)
     crd.add_argument("--samples", type=int, default=2000)
-    crd.add_argument("--workers", type=int, default=1)
     crd.add_argument("--seed", type=int, default=0)
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
     crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
@@ -87,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
     cal.add_argument("--rank", type=int, default=16)
 
     return parser
+
+
+def _solver_from_args(args, tile_size=None):
+    """One MVNSolver per CLI invocation, configured from the parsed args."""
+    from repro import MVNSolver, SolverConfig
+
+    config = SolverConfig(
+        method=args.method,
+        n_samples=args.samples,
+        tile_size=tile_size if tile_size is not None else getattr(args, "tile_size", None),
+        accuracy=args.accuracy,
+    )
+    return MVNSolver(config, n_workers=args.workers, policy=args.policy)
 
 
 def _load_covariance(args) -> np.ndarray:
@@ -104,17 +130,13 @@ def _load_covariance(args) -> np.ndarray:
 
 
 def _cmd_mvn(args) -> int:
-    from repro import Runtime, mvn_probability
-
     sigma = _load_covariance(args)
     n = sigma.shape[0]
     lower = -np.inf if args.lower is None else args.lower
-    runtime = Runtime(n_workers=args.workers) if args.workers > 1 else None
-    result = mvn_probability(
-        np.full(n, lower), np.full(n, args.upper), sigma,
-        method=args.method, n_samples=args.samples, tile_size=args.tile_size,
-        accuracy=args.accuracy, rng=args.seed, runtime=runtime,
-    )
+    with _solver_from_args(args) as solver:
+        result = solver.model(sigma).probability(
+            np.full(n, lower), np.full(n, args.upper), rng=args.seed
+        )
     print(f"dimension        : {result.dimension}")
     print(f"method           : {result.method}")
     print(f"samples          : {result.n_samples}")
@@ -126,8 +148,7 @@ def _cmd_mvn(args) -> int:
 def _cmd_batch(args) -> int:
     import time
 
-    from repro import Runtime
-    from repro.batch import load_boxes, mvn_probability_batch
+    from repro.batch import load_boxes
     from repro.utils.reporting import Table
 
     sigma = _load_covariance(args)
@@ -140,13 +161,9 @@ def _cmd_batch(args) -> int:
             raise SystemExit(
                 f"box {idx} has dimension {a.shape[0]} but the covariance is {n}x{n}"
             )
-    runtime = Runtime(n_workers=args.workers) if args.workers > 1 else None
     start = time.perf_counter()
-    results = mvn_probability_batch(
-        boxes, sigma, method=args.method, n_samples=args.samples,
-        tile_size=args.tile_size, accuracy=args.accuracy, rng=args.seed,
-        runtime=runtime,
-    )
+    with _solver_from_args(args) as solver:
+        results = solver.model(sigma).probability_batch(boxes, rng=args.seed)
     elapsed = time.perf_counter() - start
     table = Table(["box", "probability", "std error"],
                   title=f"{len(boxes)} boxes, dimension {n}, method {args.method}")
@@ -165,7 +182,6 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_crd(args) -> int:
-    from repro import Runtime, confidence_region
     from repro.datasets import make_synthetic_dataset
     from repro.excursion import excursion_map
     from repro.utils.io import save_confidence_region
@@ -178,12 +194,9 @@ def _cmd_crd(args) -> int:
         pass
     dataset = make_synthetic_dataset(correlation, grid_size=args.grid, rng=args.seed)
     threshold = dataset.default_threshold(args.threshold_quantile)
-    runtime = Runtime(n_workers=args.workers) if args.workers > 1 else None
-    result = confidence_region(
-        dataset.posterior.covariance, dataset.posterior.mean, threshold,
-        method=args.method, accuracy=args.accuracy, n_samples=args.samples,
-        tile_size=max(32, dataset.n // 8), rng=args.seed, runtime=runtime,
-    )
+    with _solver_from_args(args, tile_size=max(32, dataset.n // 8)) as solver:
+        model = solver.model(dataset.posterior.covariance, mean=dataset.posterior.mean)
+        result = model.confidence_region(threshold, rng=args.seed)
     alpha = 1.0 - args.confidence
     print(f"locations             : {dataset.n}")
     print(f"threshold u           : {threshold:.4f}")

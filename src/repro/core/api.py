@@ -1,11 +1,15 @@
 """Top-level one-call API.
 
-``mvn_probability`` dispatches between the baseline estimators and the
-tile-parallel implementations, so downstream code (and the examples) can
-switch methods with a string.  The accepted ``method=`` strings live in
-:mod:`repro.core.methods`; the docstring bullet list and the ``ValueError``
-for unknown names are generated from that registry (as is
+``mvn_probability`` answers a single box query with any estimator the
+registry in :mod:`repro.core.methods` knows; the docstring bullet list and
+the ``ValueError`` for unknown names are generated from that registry (as is
 ``docs/methods.md``), so the three can never drift apart.
+
+Since the solver redesign this function is a thin wrapper over the session
+API: it builds a transient :class:`repro.solver.MVNSolver` around the call,
+which guarantees the two entry points stay bit-identical.  Code issuing many
+queries against one covariance should hold a solver open instead (see
+``docs/solver.md``).
 
 ``mvn_probability_batch`` (from :mod:`repro.batch`, re-exported here) is the
 many-boxes-one-covariance counterpart.
@@ -13,19 +17,14 @@ many-boxes-one-covariance counterpart.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.methods import (
-    canonical_method,
     check_factor_args,
     method_doc_lines,
     method_set_doc,
 )
-from repro.core.pmvn import pmvn_dense, pmvn_tlr
-from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
-from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
 from repro.runtime import Runtime
+from repro.solver import MVNSolver, SolverConfig
 
 __all__ = ["mvn_probability", "mvn_probability_batch"]
 
@@ -76,33 +75,13 @@ __METHOD_LIST__
         Factor cache consulted (and populated) when ``factor`` is not given;
         repeated calls against the same covariance factorize once.
     """
-    method = canonical_method(method)
-    check_factor_args(method, factor, cache)
-    if method == "mc":
-        return mvn_mc(a, b, sigma, n_samples=n_samples, mean=mean, rng=rng)
-    if method == "sov-seq":
-        return mvn_sov(a, b, sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
-    if method == "sov":
-        return mvn_sov_vectorized(a, b, sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
-    rt = runtime if runtime is not None else (Runtime(n_workers=n_workers) if n_workers > 1 else None)
-    if factor is None and cache is not None:
-        factor = cache.get_or_factorize(
-            np.asarray(sigma, dtype=np.float64),
-            method=method, tile_size=tile_size, accuracy=accuracy,
-            max_rank=max_rank, runtime=rt,
-        )
-    if method == "dense":
-        return pmvn_dense(
-            a, b, None if factor is not None else np.asarray(sigma, dtype=np.float64),
-            n_samples=n_samples, tile_size=tile_size, runtime=rt,
-            mean=mean, qmc=qmc, rng=rng, factor=factor,
-        )
-    # method == "tlr" (canonical_method already rejected everything else)
-    return pmvn_tlr(
-        a, b, None if factor is not None else np.asarray(sigma, dtype=np.float64),
-        n_samples=n_samples, tile_size=tile_size, accuracy=accuracy,
-        max_rank=max_rank, runtime=rt, mean=mean, qmc=qmc, rng=rng, factor=factor,
+    config = SolverConfig(
+        method=method, n_samples=n_samples, tile_size=tile_size,
+        accuracy=accuracy, max_rank=max_rank, qmc=qmc,
     )
+    check_factor_args(config.method, factor, cache)
+    with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:
+        return solver.model(sigma, mean=mean, factor=factor).probability(a, b, rng=rng)
 
 
 # inject the generated method documentation (single source: repro.core.methods);

@@ -163,7 +163,48 @@ def confidence_region(
         Factor cache for the standardized correlation matrix; repeated
         detections against the same field (e.g. sweeping thresholds)
         factorize once.
+
+    Notes
+    -----
+    This is a thin wrapper over the session API — it builds a transient
+    :class:`repro.solver.MVNSolver` around one detection.  Sweeping
+    thresholds or fields should hold a solver open and call
+    :meth:`repro.solver.Model.confidence_region` so the runtime and factor
+    cache persist between detections (see ``docs/solver.md``).
     """
+    # imported late: repro.solver builds on this module's implementation
+    from repro.solver import MVNSolver, SolverConfig
+
+    config = SolverConfig(
+        method=method, n_samples=n_samples, tile_size=tile_size,
+        accuracy=accuracy, max_rank=max_rank, qmc=qmc,
+    )
+    with MVNSolver(config, runtime=runtime, cache=cache) as solver:
+        return solver.model(sigma, mean=mean).confidence_region(
+            threshold, algorithm=algorithm, rng=rng, nugget=nugget,
+            timings=timings, levels=levels,
+        )
+
+
+def _confidence_region_impl(
+    sigma,
+    mean,
+    threshold: float,
+    method: str = "dense",
+    algorithm: str = "prefix",
+    n_samples: int = 10_000,
+    tile_size: int | None = None,
+    accuracy: float = 1e-3,
+    max_rank: int | None = None,
+    runtime: Runtime | None = None,
+    qmc: str = "richtmyer",
+    rng=None,
+    nugget: float = 1e-8,
+    timings: TimingRegistry | None = None,
+    levels: np.ndarray | None = None,
+    cache=None,
+) -> ConfidenceRegionResult:
+    """Algorithm 1 proper (shared by the wrapper above and the solver API)."""
     sigma = check_covariance(sigma, "covariance")
     n = sigma.shape[0]
     mu = np.full(n, float(mean)) if np.isscalar(mean) else ensure_1d(mean, "mean")

@@ -194,7 +194,7 @@ def pmvn_integrate_batch(
         One result per box, in input order.
     """
     options = options or PMVNOptions()
-    rt = runtime if runtime is not None else Runtime(n_workers=1)
+    rt = Runtime.ensure(runtime)
     n = factor.n
     boxes = list(boxes)
     n_boxes = len(boxes)

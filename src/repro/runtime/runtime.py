@@ -48,6 +48,15 @@ class Runtime:
     trace : bool
         Record an :class:`~repro.runtime.trace.ExecutionTrace` of task
         start/end times and worker assignment.
+
+    Notes
+    -----
+    A runtime has an explicit lifetime: it accepts tasks until
+    :meth:`close` is called (the context-manager form drains pending tasks
+    and closes on exit), after which any submission or execution attempt
+    raises :class:`RuntimeError`.  Long-lived owners such as
+    :class:`repro.solver.MVNSolver` close their runtime when they are
+    closed.
     """
 
     def __init__(self, n_workers: int = 1, policy: str = "prio", trace: bool = False) -> None:
@@ -58,10 +67,47 @@ class Runtime:
         self.graph = TaskGraph()
         self.trace: ExecutionTrace | None = ExecutionTrace() if trace else None
         self._executed: list[Task] = []
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------------
+    @classmethod
+    def ensure(cls, runtime: "Runtime | None") -> "Runtime":
+        """Return ``runtime``, or a fresh serial runtime when ``None``.
+
+        The single fallback used by every routine that accepts an optional
+        runtime (tile/TLR factorizations, the PMVN sweep), so ``runtime=None``
+        means the same thing everywhere: deterministic one-worker execution.
+        """
+        if runtime is None:
+            return cls(n_workers=1)
+        runtime._check_open()
+        return runtime
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the runtime down; further task submission/execution raises.
+
+        Closing is idempotent.  Pending (never-executed) tasks are discarded;
+        call :meth:`wait_all` first to drain them.
+        """
+        self._closed = True
+        self.graph = TaskGraph()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this Runtime has been closed; create a new Runtime (or a new "
+                "MVNSolver) instead of reusing one whose lifetime has ended"
+            )
 
     # -- registration / submission ------------------------------------------------
     def register(self, data: Any = None, name: str = "", home: int | None = None) -> DataHandle:
         """Register a payload and return its handle."""
+        self._check_open()
         return DataHandle(data, name=name, home=home)
 
     def insert_task(
@@ -75,6 +121,7 @@ class Runtime:
         tag: str = "",
     ) -> Task:
         """Submit a task; dependencies are inferred from the declared accesses."""
+        self._check_open()
         task = Task(
             func,
             accesses=accesses,
@@ -89,6 +136,7 @@ class Runtime:
 
     def submit(self, task: Task) -> Task:
         """Submit an already-constructed :class:`Task`."""
+        self._check_open()
         self.graph.add_task(task)
         return task
 
@@ -101,6 +149,7 @@ class Runtime:
         failures is raised after the DAG has drained (tasks whose
         dependencies failed are marked FAILED without running).
         """
+        self._check_open()
         pending = [t for t in self.graph.tasks if t.state == TaskState.PENDING]
         if not pending:
             return []
@@ -252,5 +301,8 @@ class Runtime:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.wait_all()
+        try:
+            if exc_type is None:
+                self.wait_all()
+        finally:
+            self.close()

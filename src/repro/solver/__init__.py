@@ -1,0 +1,26 @@
+"""Session-oriented solver API: configure once, factorize once, reuse.
+
+This subpackage is the canonical front door of the library (see
+``docs/solver.md``).  :class:`SolverConfig` validates the evaluation knobs
+once; :class:`MVNSolver` owns a task runtime and a factor cache for its
+lifetime; :meth:`MVNSolver.model` binds a covariance to a lazily
+pre-factorized :class:`Model` answering ``probability`` /
+``probability_batch`` / ``confidence_region`` queries.  The functional API
+(:func:`repro.mvn_probability` et al.) wraps a transient solver, so both
+styles are bit-identical.
+
+>>> import numpy as np
+>>> from repro.solver import MVNSolver
+>>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> with MVNSolver("dense") as solver:
+...     model = solver.model(sigma)
+...     result = model.probability([-np.inf, -np.inf], [0.0, 0.0],
+...                                n_samples=2000, rng=0)
+>>> abs(result.probability - 1/3) < 0.02
+True
+"""
+
+from repro.solver.config import SolverConfig
+from repro.solver.solver import Model, MVNSolver
+
+__all__ = ["SolverConfig", "MVNSolver", "Model"]

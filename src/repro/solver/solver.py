@@ -1,0 +1,354 @@
+"""Session-oriented solver objects: the canonical evaluation path.
+
+The functional API (:func:`repro.core.api.mvn_probability` and friends)
+rebuilds a runtime and refactorizes the covariance on every call.  A service
+loop answering many queries wants the opposite: configure once, factorize
+once, reuse the worker pool.  That is what this module provides:
+
+* :class:`~repro.solver.config.SolverConfig` — the evaluation knobs,
+  validated once;
+* :class:`MVNSolver` — owns one :class:`~repro.runtime.Runtime` and one
+  :class:`~repro.batch.FactorCache` for its lifetime (a context manager:
+  closing the solver closes the runtime);
+* :class:`Model` — a covariance (and mean) bound to a lazily pre-factorized
+  representation: every ``probability`` / ``probability_batch`` query runs
+  against the shared factor, and ``confidence_region`` detections cache
+  the factor of their standardized correlation matrix alongside it.
+
+The functional API is now a thin wrapper that builds a transient solver per
+call, so both entry points produce bit-identical results; prefer the solver
+objects whenever more than one query hits the same covariance.
+
+>>> import numpy as np
+>>> from repro.solver import MVNSolver, SolverConfig
+>>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> with MVNSolver(SolverConfig(method="dense", n_samples=2000)) as solver:
+...     model = solver.model(sigma)
+...     r1 = model.probability([-np.inf, -np.inf], [0.0, 0.0], rng=0)
+...     r2 = model.probability([-np.inf, -np.inf], [1.0, 1.0], rng=0)
+...     factorizations = solver.cache.factorize_count
+>>> factorizations  # both queries share one Cholesky factor
+1
+>>> r1.probability < r2.probability
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batch.batched import _baseline_loop, _batched_parallel, _stamp_batch_details
+from repro.batch.cache import FactorCache
+from repro.core.crd import ConfidenceRegionResult, _confidence_region_impl
+from repro.core.factor import CholeskyFactor, factorize
+from repro.core.methods import check_factor_args
+from repro.core.pmvn import pmvn_dense, pmvn_tlr
+from repro.mvn.mc import mvn_mc
+from repro.mvn.result import MVNResult
+from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
+from repro.runtime import Runtime
+from repro.solver.config import SolverConfig
+
+__all__ = ["MVNSolver", "Model"]
+
+#: default sentinel: "the solver owns a fresh cache" (pass ``cache=None`` to
+#: disable caching entirely, or an existing FactorCache to share one)
+_OWNED_CACHE = object()
+
+
+class MVNSolver:
+    """A long-lived MVN evaluation session.
+
+    Parameters
+    ----------
+    config : SolverConfig or str, optional
+        Evaluation settings; a plain method string is accepted as shorthand
+        for ``SolverConfig(method=...)``.  Defaults to ``SolverConfig()``.
+    n_workers : int
+        Worker threads of the owned runtime (ignored when ``runtime=`` is
+        given).
+    policy : str
+        Scheduling policy of the owned runtime.
+    runtime : Runtime, optional
+        Use an existing runtime instead of owning one.  A borrowed runtime
+        is *not* closed when the solver closes.
+    cache : FactorCache or None, optional
+        Share an existing factor cache, or pass ``None`` to disable factor
+        caching (every model still factorizes at most once — the cache only
+        adds sharing *across* models/solvers).  By default the solver owns a
+        fresh cache.
+    cache_entries : int
+        Capacity of the owned cache.
+
+    Notes
+    -----
+    The solver is a context manager; :meth:`close` shuts down the owned
+    runtime and drops the owned cache, and any later use of the solver or
+    its models raises :class:`RuntimeError`.
+    """
+
+    def __init__(
+        self,
+        config: SolverConfig | str | None = None,
+        *,
+        n_workers: int = 1,
+        policy: str = "prio",
+        runtime: Runtime | None = None,
+        cache=_OWNED_CACHE,
+        cache_entries: int = 8,
+    ) -> None:
+        if config is None:
+            config = SolverConfig()
+        elif isinstance(config, str):
+            config = SolverConfig(method=config)
+        elif not isinstance(config, SolverConfig):
+            raise TypeError(f"config must be a SolverConfig or method string, got {type(config).__name__}")
+        self.config = config
+        self._owns_runtime = runtime is None
+        self.runtime = Runtime(n_workers=n_workers, policy=policy) if runtime is None else Runtime.ensure(runtime)
+        self._owns_cache = cache is _OWNED_CACHE
+        self.cache: FactorCache | None = FactorCache(max_entries=cache_entries) if self._owns_cache else cache
+        if self.cache is not None and not isinstance(self.cache, FactorCache):
+            raise TypeError(f"cache must be a FactorCache or None, got {type(self.cache).__name__}")
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """End the session: close the owned runtime, drop the owned cache.
+
+        Idempotent.  A borrowed runtime/cache is left untouched so it can
+        serve other solvers.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_runtime:
+            self.runtime.close()
+        if self._owns_cache and self.cache is not None:
+            self.cache.clear()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "this MVNSolver is closed; models created from it are no longer "
+                "usable — create a new solver (or keep the solver open while "
+                "queries are outstanding)"
+            )
+
+    def __enter__(self) -> "MVNSolver":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"MVNSolver(method={self.config.method!r}, "
+            f"n_workers={self.runtime.n_workers}, {state})"
+        )
+
+    # -- models --------------------------------------------------------------------
+    def model(self, sigma, mean=0.0, factor: CholeskyFactor | None = None) -> "Model":
+        """Bind a covariance (and mean) to this solver as a :class:`Model`.
+
+        Parameters
+        ----------
+        sigma : array_like (n, n)
+            Covariance matrix of the model.
+        mean : float or array_like (n,)
+            Mean of the field (absorbed into the limits at query time).
+        factor : CholeskyFactor, optional
+            Pre-computed factor of ``sigma``; skips factorization entirely
+            (factor-based methods only).
+        """
+        self._check_open()
+        check_factor_args(self.config.method, factor, None)
+        return Model(self, sigma, mean=mean, factor=factor)
+
+
+class Model:
+    """A covariance bound to a solver, pre-factorized on first use.
+
+    Create via :meth:`MVNSolver.model`.  All queries share one Cholesky
+    factor (built lazily through the solver's cache) and the solver's
+    runtime; ``n_samples=`` / ``rng=`` / ``qmc=`` may be overridden per
+    call, everything else follows the solver's :class:`SolverConfig`.
+    """
+
+    def __init__(self, solver: MVNSolver, sigma, mean=0.0, factor: CholeskyFactor | None = None) -> None:
+        self._solver = solver
+        self._sigma = np.asarray(sigma, dtype=np.float64)
+        self._mean = mean
+        self._factor = factor
+
+    @property
+    def solver(self) -> MVNSolver:
+        return self._solver
+
+    @property
+    def config(self) -> SolverConfig:
+        return self._solver.config
+
+    @property
+    def sigma(self) -> np.ndarray:
+        return self._sigma
+
+    @property
+    def mean(self):
+        return self._mean
+
+    @property
+    def n(self) -> int:
+        return self._sigma.shape[0]
+
+    @property
+    def factor(self) -> CholeskyFactor | None:
+        """The bound factor, or ``None`` if not yet factorized."""
+        return self._factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "factorized" if self._factor is not None else "lazy"
+        return f"Model(n={self.n}, method={self.config.method!r}, {state})"
+
+    # -- factorization -------------------------------------------------------------
+    def factorize(self, timings=None) -> CholeskyFactor:
+        """Factor the covariance now (instead of lazily on the first query)."""
+        self._solver._check_open()
+        if not self.config.is_parallel:
+            raise ValueError(
+                f"method {self.config.method!r} does not use a Cholesky factor; "
+                "nothing to factorize"
+            )
+        return self._ensure_factor(timings=timings)
+
+    def _ensure_factor(self, timings=None) -> CholeskyFactor:
+        if self._factor is None:
+            cfg = self.config
+            cache = self._solver.cache
+            if cache is not None:
+                self._factor = cache.get_or_factorize(
+                    self._sigma, method=cfg.method, tile_size=cfg.tile_size,
+                    accuracy=cfg.accuracy, max_rank=cfg.max_rank,
+                    runtime=self._solver.runtime, timings=timings,
+                )
+            else:
+                self._factor = factorize(
+                    self._sigma, method=cfg.method, tile_size=cfg.tile_size,
+                    accuracy=cfg.accuracy, max_rank=cfg.max_rank,
+                    runtime=self._solver.runtime, timings=timings,
+                )
+        return self._factor
+
+    # -- queries -------------------------------------------------------------------
+    def probability(self, a, b, *, n_samples: int | None = None, rng=None, qmc: str | None = None) -> MVNResult:
+        """Estimate ``P(a <= X <= b)`` for this model.
+
+        Bit-identical to :func:`repro.mvn_probability` with the same
+        settings and seed; the factorization is reused across calls.
+        """
+        solver = self._solver
+        solver._check_open()
+        cfg = solver.config
+        n_samples = cfg.n_samples if n_samples is None else n_samples
+        qmc = cfg.qmc if qmc is None else qmc
+        method = cfg.method
+        if method == "mc":
+            return mvn_mc(a, b, self._sigma, n_samples=n_samples, mean=self._mean, rng=rng)
+        if method == "sov-seq":
+            return mvn_sov(a, b, self._sigma, n_samples=n_samples, mean=self._mean, qmc=qmc, rng=rng)
+        if method == "sov":
+            return mvn_sov_vectorized(a, b, self._sigma, n_samples=n_samples, mean=self._mean, qmc=qmc, rng=rng)
+        factor = self._ensure_factor()
+        if method == "dense":
+            return pmvn_dense(
+                a, b, None, n_samples=n_samples, tile_size=cfg.tile_size,
+                runtime=solver.runtime, mean=self._mean, qmc=qmc, rng=rng,
+                chain_block=cfg.chain_block, factor=factor,
+            )
+        # method == "tlr" (the registry admits nothing else)
+        return pmvn_tlr(
+            a, b, None, n_samples=n_samples, tile_size=cfg.tile_size,
+            accuracy=cfg.accuracy, max_rank=cfg.max_rank, runtime=solver.runtime,
+            mean=self._mean, qmc=qmc, rng=rng, chain_block=cfg.chain_block,
+            factor=factor,
+        )
+
+    def probability_batch(
+        self, boxes, *, means=None, n_samples: int | None = None, rng=None,
+        qmc: str | None = None, timings=None,
+    ) -> list[MVNResult]:
+        """Estimate ``P(a_i <= X <= b_i)`` for many boxes against this model.
+
+        ``means`` defaults to the model's bound mean for every box;
+        otherwise it accepts everything
+        :func:`repro.batch.mvn_probability_batch` does.
+        """
+        solver = self._solver
+        solver._check_open()
+        cfg = solver.config
+        n_samples = cfg.n_samples if n_samples is None else n_samples
+        qmc = cfg.qmc if qmc is None else qmc
+        boxes = list(boxes)
+        if means is None:
+            means = self._shared_means(len(boxes))
+        if not cfg.is_parallel:
+            results = _baseline_loop(boxes, self._sigma, cfg.method, n_samples, means, qmc, rng)
+        else:
+            factor = self._ensure_factor(timings=timings)
+            results = _batched_parallel(
+                boxes, cfg.method, n_samples, means, cfg.accuracy, qmc, rng,
+                solver.runtime, factor, cfg.chain_block,
+                cfg.max_workspace_cols, timings,
+            )
+        return _stamp_batch_details(results)
+
+    def confidence_region(
+        self, threshold: float, *, algorithm: str = "prefix",
+        n_samples: int | None = None, rng=None, qmc: str | None = None,
+        nugget: float = 1e-8, levels=None, timings=None,
+    ) -> ConfidenceRegionResult:
+        """Run confidence-region detection (Algorithm 1) on this model.
+
+        Uses the model's bound mean and the solver's factor cache, so
+        repeated detections against the same field factorize once.
+        """
+        solver = self._solver
+        solver._check_open()
+        cfg = solver.config
+        if not cfg.is_parallel:
+            raise ValueError(
+                f"confidence_region requires a factor-based method "
+                f"('dense' or 'tlr'), not {cfg.method!r}"
+            )
+        n_samples = cfg.n_samples if n_samples is None else n_samples
+        qmc = cfg.qmc if qmc is None else qmc
+        return _confidence_region_impl(
+            self._sigma, self._mean, threshold, method=cfg.method,
+            algorithm=algorithm, n_samples=n_samples, tile_size=cfg.tile_size,
+            accuracy=cfg.accuracy, max_rank=cfg.max_rank,
+            runtime=solver.runtime, qmc=qmc, rng=rng, nugget=nugget,
+            timings=timings, levels=levels, cache=solver.cache,
+        )
+
+    def _shared_means(self, n_boxes: int):
+        """The model mean in the form the batched means-resolver expects.
+
+        A flat length-``n`` vector already means "shared by every box" to
+        the resolver — except when ``n == n_boxes``, where it is ambiguous;
+        only then is it expanded to an explicit ``(n_boxes, n)`` array.
+        """
+        mean = self._mean
+        if mean is None or np.isscalar(mean):
+            return mean
+        arr = np.asarray(mean, dtype=np.float64)
+        if arr.ndim == 0:
+            return float(arr)
+        if arr.ndim == 1 and arr.shape[0] == n_boxes:
+            return np.tile(arr.reshape(1, -1), (n_boxes, 1))
+        return arr

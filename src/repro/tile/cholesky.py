@@ -90,7 +90,7 @@ def tiled_cholesky(
     """
     if matrix.m != matrix.n:
         raise ValueError("Cholesky factorization requires a square matrix")
-    rt = runtime if runtime is not None else Runtime(n_workers=1)
+    rt = Runtime.ensure(runtime)
 
     # Build (or reuse) the lower-triangular working copy.
     if matrix.lower_only and overwrite:

@@ -43,7 +43,7 @@ def tiled_gemm(
         raise ValueError("tiled_gemm requires B in full layout")
     if a.tile_size != b.tile_size:
         raise ValueError("A and B must share the tile size")
-    rt = runtime if runtime is not None else Runtime(n_workers=1)
+    rt = Runtime.ensure(runtime)
     c = TileMatrix.zeros(a.m, b.n, a.tile_size)
     c_handles = {(i, j): DataHandle(c.tile(i, j), name=f"C[{i},{j}]") for i in range(c.mt) for j in range(c.nt)}
 

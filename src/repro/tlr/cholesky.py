@@ -90,7 +90,7 @@ def tlr_cholesky(
         Lower-triangular factor: dense (lower-triangular) diagonal tiles and
         low-rank strictly-lower tiles.
     """
-    rt = runtime if runtime is not None else Runtime(n_workers=1)
+    rt = Runtime.ensure(runtime)
     work = matrix if overwrite else matrix.copy()
     nt = work.nt
     accuracy = work.accuracy

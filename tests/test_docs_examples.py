@@ -3,8 +3,9 @@
 Three layers keep the documentation honest:
 
 * the doctest examples embedded in the package docstrings run as tests,
-* every fenced ``python`` block in ``README.md`` and ``docs/batch.md`` is
-  executed in a fresh namespace (the snippets contain their own asserts),
+* every fenced ``python`` block in ``README.md``, ``docs/batch.md`` and
+  ``docs/solver.md`` is executed in a fresh namespace (the snippets contain
+  their own asserts),
 * the ``method=`` registry (:mod:`repro.core.methods`) is checked against
   the ``mvn_probability`` docstring, the ``ValueError`` text, and the
   generated block of ``docs/methods.md`` — one shared tuple, no drift.
@@ -22,6 +23,8 @@ import repro
 import repro.batch
 import repro.batch.batched
 import repro.batch.cache
+import repro.solver
+import repro.solver.solver
 from repro.core.methods import (
     ACCEPTED_METHODS,
     METHOD_SPECS,
@@ -42,7 +45,8 @@ def _python_blocks(path: Path) -> list[str]:
 class TestDoctests:
     @pytest.mark.parametrize(
         "module",
-        [repro, repro.batch, repro.batch.batched, repro.batch.cache],
+        [repro, repro.batch, repro.batch.batched, repro.batch.cache,
+         repro.solver, repro.solver.solver],
         ids=lambda m: m.__name__,
     )
     def test_module_doctests(self, module):
@@ -52,7 +56,7 @@ class TestDoctests:
 
 
 class TestDocumentSnippets:
-    @pytest.mark.parametrize("name", ["README.md", "docs/batch.md"])
+    @pytest.mark.parametrize("name", ["README.md", "docs/batch.md", "docs/solver.md"])
     def test_python_blocks_execute(self, name):
         for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):
             namespace: dict = {}

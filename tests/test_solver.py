@@ -1,0 +1,320 @@
+"""Tests for the session-oriented solver API (repro.solver).
+
+Three concerns:
+
+* **parity** — `MVNSolver`/`Model` results are bit-identical to the
+  functional API for every ``method=`` string (the functional API is a
+  wrapper over a transient solver, and these tests pin that contract),
+* **cache behavior** — one model factorizes once across ``probability`` →
+  ``probability_batch`` → ``confidence_region``,
+* **lifecycle** — closed solvers/runtimes reject reuse with a clear error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FactorCache,
+    MVNSolver,
+    Runtime,
+    SolverConfig,
+    confidence_region,
+    factorize,
+    mvn_probability,
+    mvn_probability_batch,
+)
+from repro.core.methods import ACCEPTED_METHODS, PARALLEL_METHODS
+from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+
+@pytest.fixture
+def solver_sigma() -> np.ndarray:
+    geom = Geometry.regular_grid(5, 5)
+    return build_covariance(ExponentialKernel(1.0, 0.2), geom.locations, nugget=1e-6)
+
+
+@pytest.fixture
+def correlation_sigma() -> np.ndarray:
+    """An exact correlation matrix (unit diagonal, perfectly symmetric)."""
+    geom = Geometry.regular_grid(4, 4)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.2), geom.locations, nugget=0.0)
+    sigma = 0.5 * (sigma + sigma.T)
+    np.fill_diagonal(sigma, 1.0)
+    return sigma
+
+
+def _box(n: int) -> tuple[np.ndarray, np.ndarray]:
+    return np.full(n, -np.inf), np.linspace(0.4, 1.2, n)
+
+
+class TestParity:
+    @pytest.mark.parametrize("method", ACCEPTED_METHODS)
+    def test_probability_matches_functional(self, solver_sigma, method):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        functional = mvn_probability(
+            a, b, solver_sigma, method=method, n_samples=300, rng=17, tile_size=9
+        )
+        with MVNSolver(SolverConfig(method=method, n_samples=300, tile_size=9)) as solver:
+            session = solver.model(solver_sigma).probability(a, b, rng=17)
+        assert session.probability == functional.probability
+        assert session.error == functional.error
+        assert session.method == functional.method
+
+    @pytest.mark.parametrize("method", ["dense", "tlr", "sov", "mc"])
+    def test_probability_batch_matches_functional(self, solver_sigma, method):
+        n = solver_sigma.shape[0]
+        rng = np.random.default_rng(3)
+        boxes = [(np.full(n, -np.inf), rng.uniform(0.3, 2.0, n)) for _ in range(4)]
+        functional = mvn_probability_batch(
+            boxes, solver_sigma, method=method, n_samples=200, rng=5
+        )
+        with MVNSolver(SolverConfig(method=method, n_samples=200)) as solver:
+            session = solver.model(solver_sigma).probability_batch(boxes, rng=5)
+        for f_res, s_res in zip(functional, session):
+            assert s_res.probability == f_res.probability
+            assert s_res.error == f_res.error
+            assert s_res.details["batch_index"] == f_res.details["batch_index"]
+            assert s_res.details["batch_size"] == len(boxes)
+
+    @pytest.mark.parametrize("method", PARALLEL_METHODS)
+    def test_confidence_region_matches_functional(self, solver_sigma, method):
+        n = solver_sigma.shape[0]
+        mean = np.linspace(-0.5, 1.0, n)
+        functional = confidence_region(
+            solver_sigma, mean, 0.4, method=method, n_samples=200, rng=7
+        )
+        with MVNSolver(SolverConfig(method=method, n_samples=200)) as solver:
+            session = solver.model(solver_sigma, mean=mean).confidence_region(0.4, rng=7)
+        np.testing.assert_array_equal(
+            session.confidence_function, functional.confidence_function
+        )
+        np.testing.assert_array_equal(session.order, functional.order)
+
+    def test_vector_mean_binding(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        mu = np.linspace(-0.3, 0.6, n)
+        functional = mvn_probability(
+            a, b, solver_sigma, method="dense", n_samples=200, rng=2, mean=mu
+        )
+        with MVNSolver(SolverConfig(method="dense", n_samples=200)) as solver:
+            model = solver.model(solver_sigma, mean=mu)
+            assert model.probability(a, b, rng=2).probability == functional.probability
+            # the bound mean is applied to every box of a batch too — even
+            # when n_boxes == n, which a flat means= vector could not express
+            batch = model.probability_batch([(a, b)] * n, rng=2)
+            assert batch[0].probability == functional.probability
+
+    def test_per_call_overrides(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        with MVNSolver(SolverConfig(method="dense", n_samples=100)) as solver:
+            model = solver.model(solver_sigma)
+            big = model.probability(a, b, n_samples=400, rng=0)
+            assert big.n_samples == 400
+            functional = mvn_probability(
+                a, b, solver_sigma, method="dense", n_samples=400, rng=0
+            )
+            assert big.probability == functional.probability
+
+    def test_pre_bound_factor(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        factor = factorize(solver_sigma, method="dense", tile_size=9)
+        with MVNSolver(SolverConfig(method="dense", n_samples=200, tile_size=9)) as solver:
+            model = solver.model(solver_sigma, factor=factor)
+            assert model.factor is factor
+            result = model.probability(a, b, rng=1)
+        functional = mvn_probability(
+            a, b, solver_sigma, method="dense", n_samples=200, rng=1, factor=factor, tile_size=9
+        )
+        assert result.probability == functional.probability
+        assert solver.cache is not None and solver.cache.factorize_count == 0
+
+
+class TestCacheBehavior:
+    def test_one_factorization_across_query_kinds(self, correlation_sigma):
+        """probability -> batch -> confidence_region share a single factor.
+
+        With an exact correlation matrix, zero mean and ``nugget=0`` the
+        standardized matrix the CRD driver factorizes is bytewise the model
+        covariance, so even the detection is a cache hit.
+        """
+        n = correlation_sigma.shape[0]
+        a, b = _box(n)
+        with MVNSolver(SolverConfig(method="dense", n_samples=150)) as solver:
+            model = solver.model(correlation_sigma)
+            model.probability(a, b, rng=0)
+            model.probability_batch([(a, b), (a, b + 0.5)], rng=0)
+            model.confidence_region(0.3, rng=0, nugget=0.0)
+            assert solver.cache.factorize_count == 1
+
+    def test_factor_shared_across_models_of_same_sigma(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        with MVNSolver(SolverConfig(method="dense", n_samples=100)) as solver:
+            solver.model(solver_sigma).probability(a, b, rng=0)
+            solver.model(solver_sigma.copy()).probability(a, b, rng=0)
+            assert solver.cache.factorize_count == 1
+            assert solver.cache.hits == 1
+
+    def test_shared_cache_across_solvers(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        cache = FactorCache()
+        with MVNSolver(SolverConfig(method="dense", n_samples=100), cache=cache) as solver:
+            solver.model(solver_sigma).probability(a, b, rng=0)
+        with MVNSolver(SolverConfig(method="dense", n_samples=100), cache=cache) as solver:
+            solver.model(solver_sigma).probability(a, b, rng=0)
+        assert cache.factorize_count == 1
+        # a borrowed cache survives solver.close()
+        assert len(cache) == 1
+
+    def test_cache_none_disables_sharing_but_not_model_reuse(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        with MVNSolver(SolverConfig(method="dense", n_samples=100), cache=None) as solver:
+            assert solver.cache is None
+            model = solver.model(solver_sigma)
+            model.probability(a, b, rng=0)
+            first = model.factor
+            model.probability(a, b, rng=0)
+            assert model.factor is first  # bound factor still reused
+
+    def test_eager_factorize(self, solver_sigma):
+        with MVNSolver(SolverConfig(method="tlr", n_samples=100)) as solver:
+            model = solver.model(solver_sigma)
+            assert model.factor is None
+            factor = model.factorize()
+            assert model.factor is factor
+            assert solver.cache.factorize_count == 1
+        with MVNSolver(SolverConfig(method="sov")) as solver:
+            with pytest.raises(ValueError, match="does not use a Cholesky factor"):
+                solver.model(solver_sigma).factorize()
+
+
+class TestLifecycle:
+    def test_closed_solver_rejects_everything(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        solver = MVNSolver(SolverConfig(method="dense", n_samples=100))
+        model = solver.model(solver_sigma)
+        solver.close()
+        solver.close()  # idempotent
+        assert solver.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.model(solver_sigma)
+        with pytest.raises(RuntimeError, match="closed"):
+            model.probability(a, b, rng=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            model.probability_batch([(a, b)], rng=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            model.confidence_region(0.3, rng=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            with solver:
+                pass
+
+    def test_context_manager_closes(self, solver_sigma):
+        with MVNSolver(SolverConfig(method="dense")) as solver:
+            assert not solver.closed
+        assert solver.closed
+        assert solver.runtime.closed  # owned runtime closed with the solver
+
+    def test_borrowed_runtime_survives_solver_close(self, solver_sigma):
+        n = solver_sigma.shape[0]
+        a, b = _box(n)
+        runtime = Runtime(n_workers=1)
+        with MVNSolver(SolverConfig(method="dense", n_samples=100), runtime=runtime) as solver:
+            solver.model(solver_sigma).probability(a, b, rng=0)
+        assert not runtime.closed
+        runtime.insert_task(lambda: None)  # still usable
+        runtime.wait_all()
+        runtime.close()
+
+    def test_closed_runtime_rejects_submission(self):
+        rt = Runtime()
+        rt.close()
+        assert rt.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            rt.insert_task(lambda: None)
+        with pytest.raises(RuntimeError, match="closed"):
+            rt.wait_all()
+        with pytest.raises(RuntimeError, match="closed"):
+            rt.register(np.zeros(1))
+
+    def test_runtime_context_manager_closes(self):
+        ran = []
+        with Runtime() as rt:
+            rt.insert_task(lambda: ran.append(1))
+        assert ran == [1]
+        assert rt.closed
+
+    def test_runtime_ensure(self):
+        fresh = Runtime.ensure(None)
+        assert fresh.n_workers == 1 and not fresh.closed
+        rt = Runtime(n_workers=2)
+        assert Runtime.ensure(rt) is rt
+        rt.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            Runtime.ensure(rt)
+
+    def test_solver_rejects_closed_borrowed_runtime(self):
+        rt = Runtime()
+        rt.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            MVNSolver(SolverConfig(), runtime=rt)
+
+
+class TestConfig:
+    def test_method_canonicalized(self):
+        assert SolverConfig(method="PMVN").method == "dense"
+        assert SolverConfig(method="genz").method == "sov"
+        assert SolverConfig(method="tlr").is_parallel
+        assert not SolverConfig(method="mc").is_parallel
+
+    def test_unknown_method_message_matches_registry(self):
+        from repro.core.methods import unknown_method_message
+
+        with pytest.raises(ValueError) as excinfo:
+            SolverConfig(method="bogus")
+        assert str(excinfo.value) == unknown_method_message("bogus")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            SolverConfig(n_samples=0)
+        with pytest.raises(ValueError, match="tile_size"):
+            SolverConfig(tile_size=0)
+        with pytest.raises(ValueError, match="accuracy"):
+            SolverConfig(accuracy=0.0)
+        with pytest.raises(ValueError, match="max_rank"):
+            SolverConfig(max_rank=0)
+        with pytest.raises(ValueError, match="chain_block"):
+            SolverConfig(chain_block=0)
+
+    def test_replace_revalidates(self):
+        config = SolverConfig(method="dense")
+        tlr = config.replace(method="tlr", accuracy=1e-5)
+        assert tlr.method == "tlr" and tlr.accuracy == 1e-5
+        assert config.method == "dense"  # frozen original untouched
+        with pytest.raises(ValueError):
+            config.replace(n_samples=-1)
+
+    def test_solver_accepts_method_string(self, solver_sigma):
+        with MVNSolver("tlr") as solver:
+            assert solver.config.method == "tlr"
+        with pytest.raises(TypeError, match="SolverConfig"):
+            MVNSolver(42)
+
+    def test_model_rejects_factor_for_baselines(self, solver_sigma):
+        factor = factorize(solver_sigma, method="dense")
+        with MVNSolver("sov") as solver:
+            with pytest.raises(ValueError, match="does not use a Cholesky factor"):
+                solver.model(solver_sigma, factor=factor)
+
+    def test_confidence_region_rejects_baselines(self, solver_sigma):
+        with MVNSolver("mc") as solver:
+            with pytest.raises(ValueError, match="factor-based"):
+                solver.model(solver_sigma).confidence_region(0.3)
