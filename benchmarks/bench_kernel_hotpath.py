@@ -1,0 +1,72 @@
+"""QMC kernel hot path — fused numpy backend vs the pre-PR reference kernel.
+
+The acceptance gate of the allocation-free kernel PR: on a dense ``n=1024``
+one-sided sweep (the CDF-style query shape every excursion / confidence
+region workload issues), the fused numpy backend must spend **>= 1.5x less
+time in the kernel phase** than the verbatim pre-optimization row loop,
+while remaining **bit-identical** — the fusion only removes dead work
+(allocations, exactly-zero/one CDF evaluations, no-op arithmetic), it never
+reorders an operation that reaches an output.
+
+Measurement protocol (see :mod:`repro.perf.hotpath`): candidate first in
+every repeat, minima across repeats, phase attribution via the sweep's
+always-on kernel/GEMM clock so shared BLAS time cannot mask the comparison.
+
+Emits ``BENCH_kernel_hotpath.json`` at the repository root (the start of the
+machine-readable perf trajectory; later PRs append comparable records) and a
+human-readable table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import save_table
+from repro.perf.hotpath import KERNEL_SPEEDUP_GATE, run_hotpath_benchmark
+from repro.utils.reporting import Table
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel_hotpath.json"
+
+N = 1024
+TILE_SIZE = 128
+# narrower chain blocks weight the per-row overhead the fusion removes more
+# heavily (and match the single-box sweep's square-tile default)
+CHAIN_BLOCK = 128
+N_SAMPLES = 512
+REPEATS = 5
+
+
+def test_kernel_hotpath(benchmark):
+    """Fused numpy kernel >= 1.5x over the reference kernel, bit-identical."""
+    record = benchmark.pedantic(
+        lambda: run_hotpath_benchmark(
+            n=N, tile_size=TILE_SIZE, chain_block=CHAIN_BLOCK,
+            n_samples=N_SAMPLES, repeats=REPEATS, json_path=JSON_PATH,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        ["backend", "kernel (s)", "gemm (s)", "sweep (s)", "kernel speedup"],
+        title=f"QMC kernel hot path — n={N}, tile={TILE_SIZE}, "
+              f"chains/block={CHAIN_BLOCK}, N={N_SAMPLES}, one-sided",
+    )
+    for name, data in record["backends"].items():
+        speedup = record["speedup"].get(name, {}).get("kernel", 1.0)
+        table.add_row([name, data["kernel_seconds"], data["gemm_seconds"],
+                       data["elapsed"], speedup])
+    save_table(table, "kernel_hotpath")
+    print()
+    print(table.render())
+    print(f"wrote {JSON_PATH}")
+
+    assert record["parity"]["numpy_bit_identical"], (
+        "fused numpy kernel diverged from the reference recursion: "
+        f"{record['backends']['numpy']['probability']} vs "
+        f"{record['backends']['reference']['probability']}"
+    )
+    value = record["speedup"]["numpy"]["kernel"]
+    assert value >= KERNEL_SPEEDUP_GATE, (
+        f"fused kernel speedup only {value:.2f}x (gate: {KERNEL_SPEEDUP_GATE}x)"
+    )
+    assert JSON_PATH.exists()

@@ -106,6 +106,7 @@ def mvn_probability_batch(
     cache: FactorCache | None = None,
     chain_block: int | None = None,
     max_workspace_cols: int | None = None,
+    backend: str | None = None,
     timings: TimingRegistry | None = None,
 ) -> list[MVNResult]:
     """Estimate ``P(a_i <= X <= b_i)`` for many boxes against one covariance.
@@ -132,6 +133,8 @@ def mvn_probability_batch(
         Factor cache consulted (and populated) when ``factor`` is not given.
     chain_block, max_workspace_cols : int, optional
         Batched-sweep tuning; see :class:`repro.core.pmvn.PMVNOptions`.
+    backend : str, optional
+        QMC kernel backend (see :mod:`repro.core.kernel_backend`).
     n_samples, n_workers, tile_size, accuracy, max_rank, qmc, rng, runtime
         As in :func:`repro.core.api.mvn_probability`.
 
@@ -155,6 +158,7 @@ def mvn_probability_batch(
         method=method, n_samples=n_samples, tile_size=tile_size,
         accuracy=accuracy, max_rank=max_rank, qmc=qmc,
         chain_block=chain_block, max_workspace_cols=max_workspace_cols,
+        backend=backend,
     )
     check_factor_args(config.method, factor, cache)
     with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:
@@ -193,18 +197,21 @@ def _baseline_loop(boxes, sigma, method, n_samples, means, qmc, rng) -> list[MVN
 def _batched_parallel(
     boxes, method, n_samples, means, accuracy, qmc, rng, runtime,
     factor, chain_block, max_workspace_cols, timings,
+    backend=None, workspace=None,
 ) -> list[MVNResult]:
     """The batched sweep shared by ``"dense"`` and ``"tlr"``.
 
     The caller (:meth:`repro.solver.Model.probability_batch`) owns the
-    factorization and the runtime; this helper only runs the sweep and
-    stamps the per-result metadata.
+    factorization, the runtime, the kernel backend choice and the pooled
+    sweep workspace; this helper only runs the sweep and stamps the
+    per-result metadata.
     """
     if not isinstance(factor, CholeskyFactor):
         raise TypeError(f"factor must be a CholeskyFactor, got {type(factor).__name__}")
     options = PMVNOptions(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
-        max_workspace_cols=max_workspace_cols, timings=timings,
+        max_workspace_cols=max_workspace_cols, backend=backend,
+        workspace=workspace, timings=timings,
     )
     results = pmvn_integrate_batch(boxes, factor, options, runtime=runtime, means=means)
     for result in results:

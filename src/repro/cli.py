@@ -57,6 +57,11 @@ def _add_mvn_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tile-size", type=int, default=None)
     parser.add_argument("--accuracy", type=float, default=1e-3, help="TLR compression accuracy")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default=None,
+                        choices=["numpy", "numba", "reference", "auto"],
+                        help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the kernel backend and per-phase timing breakdown")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     crd.add_argument("--accuracy", type=float, default=1e-3)
     crd.add_argument("--samples", type=int, default=2000)
     crd.add_argument("--seed", type=int, default=0)
+    crd.add_argument("--backend", default=None,
+                     choices=["numpy", "numba", "reference", "auto"],
+                     help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    crd.add_argument("--verbose", action="store_true",
+                     help="print the per-phase timing breakdown of the detection")
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
     crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
 
@@ -111,6 +121,7 @@ def _solver_from_args(args, tile_size=None):
         n_samples=args.samples,
         tile_size=tile_size if tile_size is not None else getattr(args, "tile_size", None),
         accuracy=args.accuracy,
+        backend=getattr(args, "backend", None),
     )
     return MVNSolver(config, n_workers=args.workers, policy=args.policy)
 
@@ -129,19 +140,36 @@ def _load_covariance(args) -> np.ndarray:
     return build_covariance(kernel, geom.locations, nugget=1e-6)
 
 
+def _print_verbose(result_details: dict, timings) -> None:
+    """Shared ``--verbose`` epilogue: backend attribution + phase breakdown."""
+    backend = result_details.get("backend")
+    if backend is not None:
+        print(f"kernel backend   : {backend}")
+        print(f"kernel sweep     : {result_details.get('kernel_seconds', 0.0):.4f} s")
+        print(f"gemm propagation : {result_details.get('gemm_seconds', 0.0):.4f} s")
+    if timings is not None and timings.names():
+        print()
+        print(timings)
+
+
 def _cmd_mvn(args) -> int:
+    from repro.utils.timers import TimingRegistry
+
     sigma = _load_covariance(args)
     n = sigma.shape[0]
     lower = -np.inf if args.lower is None else args.lower
+    timings = TimingRegistry() if args.verbose else None
     with _solver_from_args(args) as solver:
         result = solver.model(sigma).probability(
-            np.full(n, lower), np.full(n, args.upper), rng=args.seed
+            np.full(n, lower), np.full(n, args.upper), rng=args.seed, timings=timings
         )
     print(f"dimension        : {result.dimension}")
     print(f"method           : {result.method}")
     print(f"samples          : {result.n_samples}")
     print(f"probability      : {result.probability:.8g}")
     print(f"standard error   : {result.error:.3g}")
+    if args.verbose:
+        _print_verbose(result.details, timings)
     return 0
 
 
@@ -161,9 +189,12 @@ def _cmd_batch(args) -> int:
             raise SystemExit(
                 f"box {idx} has dimension {a.shape[0]} but the covariance is {n}x{n}"
             )
+    from repro.utils.timers import TimingRegistry
+
+    timings = TimingRegistry() if args.verbose else None
     start = time.perf_counter()
     with _solver_from_args(args) as solver:
-        results = solver.model(sigma).probability_batch(boxes, rng=args.seed)
+        results = solver.model(sigma).probability_batch(boxes, rng=args.seed, timings=timings)
     elapsed = time.perf_counter() - start
     table = Table(["box", "probability", "std error"],
                   title=f"{len(boxes)} boxes, dimension {n}, method {args.method}")
@@ -171,6 +202,8 @@ def _cmd_batch(args) -> int:
         table.add_row([idx, result.probability, result.error])
     print(table.render())
     print(f"elapsed          : {elapsed:.3f} s ({len(boxes) / elapsed:.2f} boxes/s)")
+    if args.verbose:
+        _print_verbose(results[0].details if results else {}, timings)
     if args.save is not None:
         np.savez(
             args.save,
@@ -192,17 +225,23 @@ def _cmd_crd(args) -> int:
         correlation = float(correlation)
     except ValueError:
         pass
+    from repro.utils.timers import TimingRegistry
+
     dataset = make_synthetic_dataset(correlation, grid_size=args.grid, rng=args.seed)
     threshold = dataset.default_threshold(args.threshold_quantile)
+    timings = TimingRegistry() if args.verbose else None
     with _solver_from_args(args, tile_size=max(32, dataset.n // 8)) as solver:
         model = solver.model(dataset.posterior.covariance, mean=dataset.posterior.mean)
-        result = model.confidence_region(threshold, rng=args.seed)
+        result = model.confidence_region(threshold, rng=args.seed, timings=timings)
     alpha = 1.0 - args.confidence
     print(f"locations             : {dataset.n}")
     print(f"threshold u           : {threshold:.4f}")
     print(f"confidence level      : {args.confidence}")
     print(f"marginal region size  : {int(np.count_nonzero(result.marginal_probabilities >= args.confidence))}")
     print(f"confidence region size: {result.region_size(alpha)}")
+    if args.verbose and timings is not None:
+        print()
+        print(timings)
     if args.map:
         print()
         print(ascii_heatmap(excursion_map(dataset.geometry, result, alpha)))

@@ -21,7 +21,8 @@ Public entry points
 from repro.core.factor import CholeskyFactor, DenseTileFactor, TLRFactor, factorize
 from repro.core.methods import ACCEPTED_METHODS, METHOD_SPECS, canonical_method
 from repro.core.qmc_kernel import qmc_kernel_tile
-from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, pmvn_integrate_batch, PMVNOptions
+from repro.core.kernel_backend import KernelWorkspace, available_backends, get_backend
+from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, pmvn_integrate_batch, PMVNOptions, SweepWorkspace
 from repro.core.crd import (
     ConfidenceRegionResult,
     confidence_region,
@@ -39,6 +40,10 @@ __all__ = [
     "METHOD_SPECS",
     "canonical_method",
     "qmc_kernel_tile",
+    "KernelWorkspace",
+    "available_backends",
+    "get_backend",
+    "SweepWorkspace",
     "pmvn_dense",
     "pmvn_tlr",
     "pmvn_integrate",

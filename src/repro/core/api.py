@@ -45,6 +45,7 @@ def mvn_probability(
     runtime: Runtime | None = None,
     factor=None,
     cache=None,
+    backend: str | None = None,
 ) -> MVNResult:
     """Estimate the MVN probability ``P(a <= X <= b)`` for ``X ~ N(mean, sigma)``.
 
@@ -74,10 +75,14 @@ __METHOD_LIST__
     cache : repro.batch.FactorCache, optional
         Factor cache consulted (and populated) when ``factor`` is not given;
         repeated calls against the same covariance factorize once.
+    backend : str, optional
+        QMC kernel backend for the factor-based methods (``"numpy"``,
+        ``"numba"``, ``"reference"``, ``"auto"``); see
+        :mod:`repro.core.kernel_backend`.
     """
     config = SolverConfig(
         method=method, n_samples=n_samples, tile_size=tile_size,
-        accuracy=accuracy, max_rank=max_rank, qmc=qmc,
+        accuracy=accuracy, max_rank=max_rank, qmc=qmc, backend=backend,
     )
     check_factor_args(config.method, factor, cache)
     with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:

@@ -134,6 +134,7 @@ def confidence_region(
     timings: TimingRegistry | None = None,
     levels: np.ndarray | None = None,
     cache=None,
+    backend: str | None = None,
 ) -> ConfidenceRegionResult:
     """Run Algorithm 1 on a Gaussian field ``N(mean, sigma)``.
 
@@ -163,6 +164,9 @@ def confidence_region(
         Factor cache for the standardized correlation matrix; repeated
         detections against the same field (e.g. sweeping thresholds)
         factorize once.
+    backend : str, optional
+        QMC kernel backend for the PMVN sweeps (see
+        :mod:`repro.core.kernel_backend`).
 
     Notes
     -----
@@ -177,7 +181,7 @@ def confidence_region(
 
     config = SolverConfig(
         method=method, n_samples=n_samples, tile_size=tile_size,
-        accuracy=accuracy, max_rank=max_rank, qmc=qmc,
+        accuracy=accuracy, max_rank=max_rank, qmc=qmc, backend=backend,
     )
     with MVNSolver(config, runtime=runtime, cache=cache) as solver:
         return solver.model(sigma, mean=mean).confidence_region(
@@ -203,8 +207,15 @@ def _confidence_region_impl(
     timings: TimingRegistry | None = None,
     levels: np.ndarray | None = None,
     cache=None,
+    backend: str | None = None,
+    workspace=None,
 ) -> ConfidenceRegionResult:
-    """Algorithm 1 proper (shared by the wrapper above and the solver API)."""
+    """Algorithm 1 proper (shared by the wrapper above and the solver API).
+
+    ``backend`` / ``workspace`` select the QMC kernel implementation and the
+    pooled sweep buffers for the PMVN sweeps (see
+    :class:`repro.core.pmvn.PMVNOptions`).
+    """
     sigma = check_covariance(sigma, "covariance")
     n = sigma.shape[0]
     mu = np.full(n, float(mean)) if np.isscalar(mean) else ensure_1d(mean, "mean")
@@ -238,11 +249,11 @@ def _confidence_region_impl(
 
     if algorithm == "prefix":
         prefix_prob, prefix_err = _prefix_joint_probabilities(
-            factor, a_std, n_samples, qmc, rng, runtime, timings
+            factor, a_std, n_samples, qmc, rng, runtime, timings, backend, workspace
         )
     elif algorithm == "sequential":
         prefix_prob, prefix_err = _sequential_joint_probabilities(
-            factor, a_std, n_samples, qmc, rng, runtime, timings, levels
+            factor, a_std, n_samples, qmc, rng, runtime, timings, levels, backend, workspace
         )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}; use 'prefix' or 'sequential'")
@@ -279,12 +290,15 @@ def _prefix_joint_probabilities(
     rng,
     runtime: Runtime | None,
     timings: TimingRegistry,
+    backend: str | None = None,
+    workspace=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """All prefix joint probabilities from a single PMVN sweep."""
     n = factor.n
     b = np.full(n, np.inf)
     options = PMVNOptions(
-        n_samples=n_samples, qmc=qmc, rng=rng, return_prefix=True, timings=timings
+        n_samples=n_samples, qmc=qmc, rng=rng, return_prefix=True,
+        backend=backend, workspace=workspace, timings=timings,
     )
     with timed(timings, "pmvn_sweep"):
         result = pmvn_integrate(a_std, b, factor, options, runtime=runtime)
@@ -300,6 +314,8 @@ def _sequential_joint_probabilities(
     runtime: Runtime | None,
     timings: TimingRegistry,
     levels: np.ndarray | None,
+    backend: str | None = None,
+    workspace=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Paper-faithful prefix boxes, evaluated through the batched sweep.
 
@@ -326,7 +342,8 @@ def _sequential_joint_probabilities(
         a_vec[:size] = a_std[:size]
         boxes.append((a_vec, b))
     options = PMVNOptions(
-        n_samples=n_samples, chain_block=factor.tile_size, qmc=qmc, rng=rng, timings=timings
+        n_samples=n_samples, chain_block=factor.tile_size, qmc=qmc, rng=rng,
+        backend=backend, workspace=workspace, timings=timings,
     )
     with timed(timings, "pmvn_sequential"):
         results = pmvn_integrate_batch(boxes, factor, options, runtime=runtime)

@@ -53,6 +53,17 @@ class CholeskyFactor:
         """Return ``L[j, r] @ y_block`` for an off-diagonal tile (``j > r``)."""
         raise NotImplementedError
 
+    def apply_offdiag_into(self, j: int, r: int, y_block: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Write ``L[j, r] @ y_block`` into ``out`` without allocating the result.
+
+        The allocation-free variant used by the PMVN limit-propagation tasks:
+        ``out`` must have the product's shape and dtype float64.  Subclasses
+        override this with a true ``out=`` GEMM; the base implementation
+        falls back to copying the allocating product.
+        """
+        np.copyto(out, self.apply_offdiag(j, r, y_block))
+        return out
+
     def to_dense(self) -> np.ndarray:
         """Assemble the dense lower-triangular factor (testing only)."""
         raise NotImplementedError
@@ -83,6 +94,11 @@ class DenseTileFactor(CholeskyFactor):
             raise ValueError("apply_offdiag expects a strictly-lower tile (j > r)")
         return self.tiles.tile(j, r) @ y_block
 
+    def apply_offdiag_into(self, j: int, r: int, y_block: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if j <= r:
+            raise ValueError("apply_offdiag expects a strictly-lower tile (j > r)")
+        return np.matmul(self.tiles.tile(j, r), y_block, out=out)
+
     def to_dense(self) -> np.ndarray:
         return self.tiles.to_dense()
 
@@ -109,6 +125,11 @@ class TLRFactor(CholeskyFactor):
         if j <= r:
             raise ValueError("apply_offdiag expects a strictly-lower tile (j > r)")
         return lowrank_matmul_dense(self.tlr.offdiag[(j, r)], y_block)
+
+    def apply_offdiag_into(self, j: int, r: int, y_block: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if j <= r:
+            raise ValueError("apply_offdiag expects a strictly-lower tile (j > r)")
+        return lowrank_matmul_dense(self.tlr.offdiag[(j, r)], y_block, out=out)
 
     def to_dense(self) -> np.ndarray:
         return self.tlr.to_lower_dense()

@@ -30,11 +30,14 @@ special case.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.factor import CholeskyFactor, factorize
+from repro.core.kernel_backend import KernelBackend, KernelWorkspace, get_backend
 from repro.core.qmc_kernel import qmc_kernel_tile
 from repro.mvn.result import MVNResult
 from repro.runtime import AccessMode, DataHandle, Runtime
@@ -45,6 +48,7 @@ from repro.utils.validation import ensure_1d
 
 __all__ = [
     "PMVNOptions",
+    "SweepWorkspace",
     "pmvn_integrate",
     "pmvn_integrate_batch",
     "pmvn_dense",
@@ -85,6 +89,14 @@ class PMVNOptions:
         Batched sweep only: cap on the total chains materialized at once
         (defaults to :data:`BATCH_WORKSPACE_COLS` scaled by the dimension);
         additional boxes are swept in waves through the same runtime.
+    backend : str, optional
+        QMC kernel backend (``"numpy"``, ``"numba"``, ``"reference"``,
+        ``"auto"``); ``None`` follows ``$REPRO_KERNEL_BACKEND`` and defaults
+        to the fused bit-identical ``"numpy"`` backend.  See
+        :mod:`repro.core.kernel_backend`.
+    workspace : SweepWorkspace, optional
+        Pooled work buffers reused across calls (a :class:`repro.solver.Model`
+        holds one per session); a fresh pool is created when omitted.
     """
 
     n_samples: int = 10_000
@@ -93,14 +105,42 @@ class PMVNOptions:
     rng: object = None
     return_prefix: bool = False
     max_workspace_cols: int | None = None
+    backend: str | None = None
+    workspace: "SweepWorkspace | None" = field(default=None, repr=False)
     timings: TimingRegistry | None = field(default=None, repr=False)
 
 
-def _gemm_limits_update(a_block: np.ndarray, b_block: np.ndarray, y_block: np.ndarray, factor: CholeskyFactor, j: int, r: int) -> None:
-    """Task body for step (c): subtract ``L[j, r] @ Y[r]`` from both limit blocks."""
-    update = factor.apply_offdiag(j, r, y_block)
-    a_block -= update
-    b_block -= update
+def _gemm_limits_update(
+    a_block: np.ndarray,
+    b_block: np.ndarray,
+    y_block: np.ndarray,
+    factor: CholeskyFactor,
+    j: int,
+    r: int,
+    workspace: "SweepWorkspace",
+    skip_a: bool,
+    clock: "_PhaseClock",
+) -> None:
+    """Task body for step (c): subtract ``L[j, r] @ Y[r]`` from both limit blocks.
+
+    The product lands in a per-worker scratch block (``out=`` GEMM / low-rank
+    apply) and is then axpy'd into the limit blocks in place, so the trailing
+    updates allocate nothing.  ``skip_a`` marks row blocks whose lower limits
+    are all ``-inf``: subtracting a finite update from ``-inf`` is an exact
+    no-op, so the A-side traffic is skipped entirely (bit-identical).
+    """
+    start = time.perf_counter()
+    rows, cols = a_block.shape
+    base = workspace.acquire_gemm_scratch(rows, cols)
+    try:
+        update = base[:rows, :cols]
+        factor.apply_offdiag_into(j, r, y_block, out=update)
+        if not skip_a:
+            a_block -= update
+        b_block -= update
+    finally:
+        workspace.release_gemm_scratch(base)
+    clock.add_gemm(time.perf_counter() - start)
 
 
 def _resolve_means(means, n_boxes: int, n: int) -> list[np.ndarray]:
@@ -230,33 +270,149 @@ def pmvn_integrate_batch(
     max_cols = options.max_workspace_cols or max(n_samples, BATCH_WORKSPACE_COLS // max(n, 1))
     boxes_per_wave = min(boxes_per_wave, max(1, int(max_cols) // n_samples), n_boxes)
 
-    workspace = _SweepWorkspace()
+    pooled = options.workspace
+    if pooled is not None and pooled.checkout_wave_buffers():
+        workspace, claimed = pooled, True
+    else:
+        # no pool given, or another sweep holds the pooled wave buffers
+        # (concurrent queries on one Model): run on a transient workspace
+        workspace, claimed = SweepWorkspace(), False
+    backend = get_backend(options.backend)
+    clock = _PhaseClock()
     results: list[MVNResult | None] = [None] * n_boxes
-    for wave_start in range(0, n_boxes, boxes_per_wave):
-        wave = list(range(wave_start, min(wave_start + boxes_per_wave, n_boxes)))
-        _sweep_wave(wave, limits, factor, options, rt, n_samples, chain_block, timings, results, workspace)
+    try:
+        for wave_start in range(0, n_boxes, boxes_per_wave):
+            wave = list(range(wave_start, min(wave_start + boxes_per_wave, n_boxes)))
+            _sweep_wave(wave, limits, factor, options, rt, n_samples, chain_block, timings, results, workspace, backend, clock)
+    finally:
+        if claimed:
+            workspace.release_wave_buffers()
+    if timings is not None:
+        timings.add("kernel_sweep", clock.kernel)
+        timings.add("gemm_propagation", clock.gemm)
+    for result in results:
+        # phase seconds are whole-batch aggregates: chain blocks of different
+        # boxes interleave on the workers, so per-box attribution is undefined
+        result.details["backend"] = backend.name
+        result.details["kernel_seconds"] = clock.kernel
+        result.details["gemm_seconds"] = clock.gemm
     return results  # type: ignore[return-value]
 
 
-class _SweepWorkspace:
-    """Pooled work buffers for the batched sweep, rewritten in place.
+class SweepWorkspace:
+    """Pooled work buffers for the PMVN sweep, rewritten in place.
 
     Allocating fresh workspace per wave would fault in new pages every time
     (orders of magnitude slower than writing warm memory on some systems);
-    the pool pays the first-touch cost once and every later wave recycles
-    the same buffers.  Buffers are keyed by (role, block slot, row block),
-    and a wave whose tail chunk is narrower simply takes a column view.
+    the pool pays the first-touch cost once and every later wave — and every
+    later *call*, when the pool is held by a session object — recycles the
+    same buffers.  Three kinds of buffer live here:
+
+    * the wave matrices (limits / variates / samples / probabilities), keyed
+      by (role, block slot, row block); a wave whose tail chunk is narrower
+      simply takes a column view,
+    * a checkout pool of :class:`~repro.core.kernel_backend.KernelWorkspace`
+      objects (the kernel's row-scratch vectors), and
+    * a checkout pool of GEMM scratch blocks for the limit-propagation
+      products.
+
+    The scratch pools are acquire/release (lock-guarded free lists) rather
+    than thread-local: the runtime spawns fresh worker threads per
+    ``wait_all``, so thread-local storage would die with them — the pools
+    instead persist for the workspace's lifetime, bounded in size by the
+    number of concurrently running tasks (= workers).  Buffers never carry
+    state between calls — every task fully rewrites what it reads.
     """
 
     def __init__(self) -> None:
         self._buffers: dict[tuple, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self._kernel_pool: list[KernelWorkspace] = []
+        self._gemm_pool: list[np.ndarray] = []
+        self._gemm_rows = 0
+        self._gemm_cols = 0
+        self._wave_in_use = False
+
+    def checkout_wave_buffers(self) -> bool:
+        """Claim exclusive use of the keyed wave buffers (non-blocking).
+
+        The scratch pools are safe under concurrency, but the wave matrices
+        are keyed by (role, slot, row block) and would be shared by two
+        sweeps running at once.  A sweep that fails to claim them falls back
+        to a transient workspace instead of corrupting the pooled one — so
+        concurrent queries against one :class:`~repro.solver.Model` stay
+        correct, they just don't both get warm buffers.
+        """
+        with self._lock:
+            if self._wave_in_use:
+                return False
+            self._wave_in_use = True
+            return True
+
+    def release_wave_buffers(self) -> None:
+        with self._lock:
+            self._wave_in_use = False
 
     def get(self, key: tuple, shape: tuple[int, ...]) -> np.ndarray:
         buf = self._buffers.get(key)
         if buf is None or any(have < want for have, want in zip(buf.shape, shape)):
-            buf = np.empty(shape)
+            have = (0,) * len(shape) if buf is None else buf.shape
+            # grow to the elementwise max so alternating call shapes keep
+            # reusing one buffer instead of thrashing reallocation
+            buf = np.empty(tuple(max(h, w) for h, w in zip(have, shape)))
             self._buffers[key] = buf
         return buf[tuple(slice(0, want) for want in shape)]
+
+    def acquire_kernel_workspace(self) -> KernelWorkspace:
+        """Check a kernel scratch out of the pool (create on exhaustion)."""
+        with self._lock:
+            if self._kernel_pool:
+                return self._kernel_pool.pop()
+        return KernelWorkspace()
+
+    def release_kernel_workspace(self, ws: KernelWorkspace) -> None:
+        with self._lock:
+            self._kernel_pool.append(ws)
+
+    def acquire_gemm_scratch(self, rows: int, cols: int) -> np.ndarray:
+        """Check a GEMM block of at least (rows, cols) out of the pool.
+
+        Pooled blocks grow monotonically to the largest request seen, so the
+        pool converges to one max-sized buffer per concurrent task; callers
+        slice the returned base array to the shape they need and release the
+        base back.
+        """
+        with self._lock:
+            self._gemm_rows = max(self._gemm_rows, rows)
+            self._gemm_cols = max(self._gemm_cols, cols)
+            while self._gemm_pool:
+                buf = self._gemm_pool.pop()
+                if buf.shape[0] >= rows and buf.shape[1] >= cols:
+                    return buf
+                # undersized leftover from before the high-water mark grew
+            rows, cols = self._gemm_rows, self._gemm_cols
+        return np.empty((rows, cols))
+
+    def release_gemm_scratch(self, buf: np.ndarray) -> None:
+        with self._lock:
+            self._gemm_pool.append(buf)
+
+
+class _PhaseClock:
+    """Thread-safe accumulator attributing sweep time to kernel vs GEMM."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.kernel = 0.0
+        self.gemm = 0.0
+
+    def add_kernel(self, seconds: float) -> None:
+        with self._lock:
+            self.kernel += seconds
+
+    def add_gemm(self, seconds: float) -> None:
+        with self._lock:
+            self.gemm += seconds
 
 
 def _sweep_wave(
@@ -269,12 +425,21 @@ def _sweep_wave(
     chain_block: int,
     timings: TimingRegistry | None,
     results: list,
-    workspace: _SweepWorkspace,
+    workspace: SweepWorkspace,
+    backend: KernelBackend,
+    clock: _PhaseClock,
 ) -> None:
     """Run one wave of boxes through the runtime and fill ``results``."""
     n = factor.n
     row_ranges = factor.row_ranges
     n_row_blocks = len(row_ranges)
+    # row blocks whose lower limits are all -inf never change under the GEMM
+    # propagation (-inf minus a finite update is -inf); their A-side axpy is
+    # skipped per box
+    neginf_blocks = {
+        box: [bool(np.all(np.isneginf(limits[box][0][r0:r1]))) for (r0, r1) in row_ranges]
+        for box in wave
+    }
 
     # chain (column) blocks, box-aligned; the submission order below
     # interleaves same-position blocks across the boxes of the wave
@@ -350,10 +515,20 @@ def _sweep_wave(
     diag_handles = [DataHandle(factor.diag_tile(r), name=f"L[{r},{r}]") for r in range(n_row_blocks)]
 
     def qmc_task(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, row_block: int, block_idx: int) -> None:
+        start = time.perf_counter()
         r0, r1 = row_ranges[row_block]
         prefix = prefix_sums[block_idx][r0:r1] if prefix_sums is not None else None
         prefix_sq = prefix_sumsqs[block_idx][r0:r1] if prefix_sumsqs is not None else None
-        qmc_kernel_tile(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, prefix_sum=prefix, prefix_sumsq=prefix_sq)
+        kernel_ws = workspace.acquire_kernel_workspace()
+        try:
+            qmc_kernel_tile(
+                l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
+                prefix_sum=prefix, prefix_sumsq=prefix_sq,
+                workspace=kernel_ws, backend=backend,
+            )
+        finally:
+            workspace.release_kernel_workspace(kernel_ws)
+        clock.add_kernel(time.perf_counter() - start)
 
     with timed(timings, "integration"):
         # step (b): first row block
@@ -380,7 +555,12 @@ def _sweep_wave(
                         (a_handles[k][j], AccessMode.READWRITE),
                         (b_handles[k][j], AccessMode.READWRITE),
                         (y_handles[k][r - 1], AccessMode.READ),
-                        kwargs={"factor": factor, "j": j, "r": r - 1},
+                        kwargs={
+                            "factor": factor, "j": j, "r": r - 1,
+                            "workspace": workspace,
+                            "skip_a": neginf_blocks[box][j],
+                            "clock": clock,
+                        },
                         name=f"gemm({j},{box}.{chunk},{r - 1})",
                         priority=2 * (n_row_blocks - r) + 1,
                         tag="gemm",
@@ -473,19 +653,24 @@ def pmvn_dense(
     timings: TimingRegistry | None = None,
     chain_block: int | None = None,
     factor: CholeskyFactor | None = None,
+    backend: str | None = None,
+    workspace: SweepWorkspace | None = None,
 ) -> MVNResult:
     """Dense tile-parallel MVN probability (tiled Cholesky + PMVN sweep).
 
     Pass ``factor=`` (e.g. from :func:`repro.core.factor.factorize` or a
     :class:`repro.batch.FactorCache`) to reuse a factorization and skip the
-    Cholesky entirely.
+    Cholesky entirely.  ``backend=`` selects the QMC kernel implementation
+    and ``workspace=`` reuses a pooled :class:`SweepWorkspace` across calls
+    (see :class:`PMVNOptions`).
     """
     if factor is None:
         factor = factorize(sigma, method="dense", tile_size=tile_size, runtime=runtime, timings=timings)
     elif not isinstance(factor, CholeskyFactor):
         raise TypeError(f"factor must be a CholeskyFactor, got {type(factor).__name__}")
     options = PMVNOptions(
-        n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng, timings=timings
+        n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
+        backend=backend, workspace=workspace, timings=timings,
     )
     result = pmvn_integrate(a, b, factor, options, runtime=runtime, mean=mean)
     result.method = "pmvn-dense"
@@ -509,11 +694,15 @@ def pmvn_tlr(
     chain_block: int | None = None,
     compression: str = "svd",
     factor: CholeskyFactor | None = None,
+    backend: str | None = None,
+    workspace: SweepWorkspace | None = None,
 ) -> MVNResult:
     """TLR-accelerated MVN probability (TLR Cholesky + PMVN sweep).
 
     Pass ``factor=`` to reuse a pre-computed TLR factorization and skip both
-    the compression and the Cholesky.
+    the compression and the Cholesky.  ``backend=`` / ``workspace=`` select
+    the QMC kernel implementation and reuse pooled sweep buffers (see
+    :class:`PMVNOptions`).
     """
     if factor is None:
         factor = factorize(
@@ -529,7 +718,8 @@ def pmvn_tlr(
     elif not isinstance(factor, CholeskyFactor):
         raise TypeError(f"factor must be a CholeskyFactor, got {type(factor).__name__}")
     options = PMVNOptions(
-        n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng, timings=timings
+        n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
+        backend=backend, workspace=workspace, timings=timings,
     )
     result = pmvn_integrate(a, b, factor, options, runtime=runtime, mean=mean)
     result.method = "pmvn-tlr"

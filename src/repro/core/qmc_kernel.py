@@ -12,10 +12,18 @@ block — this is exactly the granularity at which the paper parallelizes:
 different chain blocks (and, across tiles, different row blocks through the
 GEMM propagation) run as independent tasks.
 
+This module is the thin dispatch layer: argument validation (including one
+vectorized positive-diagonal pre-check, so callers never observe a
+half-updated ``p_seg`` from a bad tile) happens once per tile, then the row
+recursion runs on a pluggable backend from
+:mod:`repro.core.kernel_backend` — the fused allocation-free ``"numpy"``
+backend by default, the original ``"reference"`` loop for parity baselines,
+or an ``@njit``-compiled ``"numba"`` backend when numba is installed.
+
 Note on the paper's pseudo-code: line 5/12 of Algorithm 3 writes
 ``y = Phi^{-1}(R * (Phi(b') - Phi(a')))``; the correct Genz recursion (and
 what the reference tlrmvnmvt implementation computes) is
-``y = Phi^{-1}(Phi(a') + R * (Phi(b') - Phi(a')))``, which is what this
+``y = Phi^{-1}(Phi(a') + R * (Phi(b') - Phi(a')))``, which is what the
 kernel implements.
 """
 
@@ -23,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.stats.normal import norm_cdf, norm_ppf
+from repro.core.kernel_backend import KernelBackend, KernelWorkspace, get_backend
 
 __all__ = ["qmc_kernel_tile"]
 
@@ -37,19 +45,24 @@ def qmc_kernel_tile(
     y_tile: np.ndarray,
     prefix_sum: np.ndarray | None = None,
     prefix_sumsq: np.ndarray | None = None,
+    *,
+    workspace: KernelWorkspace | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> None:
     """Advance one (row-tile, chain-block) pair of the SOV recursion in place.
 
     Parameters
     ----------
     l_tile : ndarray (m, m)
-        Dense lower-triangular diagonal tile of the Cholesky factor.
+        Dense lower-triangular diagonal tile of the Cholesky factor.  Every
+        diagonal entry is validated up front; a non-positive entry raises
+        ``LinAlgError`` before any chain state is mutated.
     r_tile : ndarray (m, c)
         Uniform (QMC) variates for the ``m`` rows and ``c`` chains of the block.
     a_tile, b_tile : ndarray (m, c)
         Lower/upper limit blocks.  On entry they must already include the
         ``- L[r, r'] Y[r']`` contributions of all previous row tiles (the GEMM
-        propagation of Algorithm 2); they are standardized in place.
+        propagation of Algorithm 2).
     p_seg : ndarray (c,)
         Running per-chain probability product, updated in place.
     y_tile : ndarray (m, c)
@@ -60,6 +73,13 @@ def qmc_kernel_tile(
         This is what turns one PMVN sweep into the whole confidence function
         of Algorithm 1 (joint probabilities of every prefix of the ordered
         locations).
+    workspace : KernelWorkspace, optional
+        Reusable scratch buffers; pass one per worker thread to make the
+        sweep allocation-free.  A transient workspace is created when omitted.
+    backend : KernelBackend or str, optional
+        Row-recursion implementation; ``None`` follows the
+        ``REPRO_KERNEL_BACKEND`` environment variable and defaults to the
+        fused (bit-identical) ``"numpy"`` backend.
     """
     m = l_tile.shape[0]
     if l_tile.shape[1] != m:
@@ -73,24 +93,13 @@ def qmc_kernel_tile(
     if p_seg.shape != (n_chains,):
         raise ValueError(f"probability segment must have shape ({n_chains},)")
 
-    for i in range(m):
-        diag = l_tile[i, i]
-        if diag <= 0.0:
-            raise np.linalg.LinAlgError(f"non-positive diagonal entry L[{i},{i}]={diag} in QMC kernel")
-        if i:
-            shift = l_tile[i, :i] @ y_tile[:i, :]
-            ai = (a_tile[i] - shift) / diag
-            bi = (b_tile[i] - shift) / diag
-        else:
-            ai = a_tile[i] / diag
-            bi = b_tile[i] / diag
-        phi_a = norm_cdf(ai)
-        phi_b = norm_cdf(bi)
-        width = np.maximum(phi_b - phi_a, 0.0)
-        p_seg *= width
-        y_tile[i] = norm_ppf(phi_a + r_tile[i] * width)
-        if prefix_sum is not None:
-            prefix_sum[i] += float(p_seg.sum())
-        if prefix_sumsq is not None:
-            prefix_sumsq[i] += float(np.dot(p_seg, p_seg))
+    if workspace is None:
+        workspace = KernelWorkspace()
+    workspace.ensure(m, n_chains)
+    # vectorized positive-diagonal pre-check: fail before touching p_seg/y
+    workspace.bind_tile(l_tile)
+    if not isinstance(backend, KernelBackend):
+        backend = get_backend(backend)
+    backend.run(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
+                prefix_sum, prefix_sumsq, workspace)
     return None

@@ -114,7 +114,9 @@ def mvn_sov_vectorized(
     n = factor.shape[0]
     w = qmc_samples(max(n - 1, 1), n_samples, method=qmc, rng=rng)
 
-    y = np.zeros((n, n_samples))
+    # n-1 rows, matching ``w``: the recursion never draws (or reads) a sample
+    # for the last dimension, so row n-1 would be dead memory traffic
+    y = np.zeros((max(n - 1, 0), n_samples))
     prob = np.ones(n_samples)
     for i in range(n):
         shift = factor[i, :i] @ y[:i] if i else 0.0

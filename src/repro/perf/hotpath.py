@@ -1,0 +1,203 @@
+"""Measured QMC-kernel hot-path benchmark (the PR 3 perf gate).
+
+:func:`run_hotpath_benchmark` drives one dense PMVN sweep per kernel backend
+against the *same* factor and QMC stream and reports, per backend:
+
+* the kernel phase (summed ``qmc_kernel_tile`` time, via the per-phase clock
+  the sweep always carries in ``MVNResult.details``),
+* the GEMM propagation phase, and
+* the end-to-end sweep time,
+
+plus the candidate-vs-reference speedups and a bit-parity verdict.  The
+measurement protocol is deliberately conservative:
+
+* the **candidate runs first** in every repeat (it eats the cold caches),
+* each figure is the **minimum** across repeats (noise only ever slows a
+  run down),
+* the reference backend is the verbatim pre-optimization kernel, swept
+  through the identical task graph.
+
+The headline gate of the hot-path PR is the **kernel-phase** ratio: the GEMM
+propagation and QMC generation are shared (and separately optimized) costs,
+so folding them in would let BLAS noise mask a kernel regression — the
+per-phase attribution exists precisely to keep this comparison sharp.
+
+The workload is the paper's bread-and-butter query shape: a one-sided
+(``a = -inf``) CDF-style box over a synthetic exponential-kernel spatial
+covariance — the shape every excursion/confidence-region sweep issues.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.factor import factorize
+from repro.core.kernel_backend import available_backends, get_backend
+from repro.core.pmvn import PMVNOptions, SweepWorkspace, pmvn_integrate
+
+__all__ = ["run_hotpath_benchmark", "hotpath_workload"]
+
+#: acceptance threshold of the hot-path PR: fused numpy kernel vs reference
+KERNEL_SPEEDUP_GATE = 1.5
+
+
+def hotpath_workload(n: int, one_sided: bool = True, seed: int = 7):
+    """Covariance and limits of the benchmark problem.
+
+    A unit-variance exponential-kernel field on a regular grid (the closest
+    square grid with at least ``n`` points, truncated to ``n``) and a random
+    upper limit per dimension; the lower limit is ``-inf`` for the one-sided
+    (CDF-style) workload or a finite two-sided band otherwise.  The limits
+    sit high enough that the ``n``-fold product of interval probabilities
+    stays representable — a degenerate 0.0 estimate would make the
+    bit-parity verdict vacuous.
+    """
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+    side = int(np.ceil(np.sqrt(n)))
+    geom = Geometry.regular_grid(side, side)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.3), geom.locations[:n], nugget=1e-6)
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(1.5, 3.0, n)
+    a = np.full(n, -np.inf) if one_sided else -rng.uniform(1.5, 3.0, n)
+    return sigma, a, b
+
+
+def _measure(a, b, factor, backend: str, n_samples: int, chain_block: int,
+             rng_seed: int, workspace: SweepWorkspace):
+    options = PMVNOptions(
+        n_samples=n_samples, chain_block=chain_block, rng=rng_seed,
+        backend=backend, workspace=workspace,
+    )
+    start = time.perf_counter()
+    result = pmvn_integrate(a, b, factor, options)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_hotpath_benchmark(
+    n: int = 1024,
+    tile_size: int = 128,
+    chain_block: int = 256,
+    n_samples: int = 512,
+    repeats: int = 3,
+    one_sided: bool = True,
+    backends: tuple[str, ...] | None = None,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Run the kernel hot-path benchmark and return the result record.
+
+    Parameters
+    ----------
+    n, tile_size, chain_block, n_samples
+        Workload shape; the acceptance run uses the defaults
+        (dense ``n=1024`` sweep).  Smoke runs pass tiny sizes.
+    repeats : int
+        Timed repetitions per backend (after one untimed warm-up pair);
+        minima are reported.
+    one_sided : bool
+        Use the one-sided (``a = -inf``) CDF-style workload.
+    backends : tuple of str, optional
+        Backends to measure; defaults to ``("numpy", "reference")`` plus
+        ``"numba"`` when importable.  ``"numpy"`` and ``"reference"`` are
+        always included (they define the gate).
+    json_path : path, optional
+        When given, the record is also written there as JSON.
+    """
+    sigma, a, b = hotpath_workload(n, one_sided=one_sided)
+    factor = factorize(sigma, method="dense", tile_size=tile_size)
+
+    requested = list(backends) if backends else []
+    for required in ("numpy", "reference"):
+        if required not in requested:
+            requested.insert(0, required)
+    if backends is None and "numba" in available_backends():
+        requested.append("numba")
+    # resolve every requested name through the registry: an unavailable
+    # backend falls back (e.g. "numba" without numba -> "numpy"), and
+    # recording it under the requested name would fake a perf-trajectory row
+    measured: list[str] = []
+    for name in requested:
+        resolved = get_backend(name).name
+        if resolved != name and resolved in requested:
+            continue  # fallback duplicates another measured backend
+        if resolved not in measured:
+            measured.append(resolved)
+    # candidate first, reference last: the optimized path absorbs the cold
+    # caches and the baseline gets the warmest possible machine
+    measured.sort(key=lambda name: (name == "reference", name))
+
+    workspaces = {name: SweepWorkspace() for name in measured}
+    # one untimed warm-up sweep per backend (first-touch of the pooled
+    # buffers, ufunc setup, BLAS thread spin-up)
+    for name in measured:
+        _measure(a, b, factor, name, n_samples, chain_block, 0, workspaces[name])
+
+    stats: dict[str, dict] = {name: {"kernel_seconds": [], "gemm_seconds": [], "elapsed": []} for name in measured}
+    probabilities: dict[str, float] = {}
+    errors: dict[str, float] = {}
+    for _ in range(repeats):
+        for name in measured:
+            result, elapsed = _measure(a, b, factor, name, n_samples, chain_block, 0, workspaces[name])
+            stats[name]["kernel_seconds"].append(result.details["kernel_seconds"])
+            stats[name]["gemm_seconds"].append(result.details["gemm_seconds"])
+            stats[name]["elapsed"].append(elapsed)
+            probabilities[name] = result.probability
+            errors[name] = result.error
+
+    record: dict = {
+        "benchmark": "kernel_hotpath",
+        "workload": {
+            "n": n,
+            "tile_size": tile_size,
+            "chain_block": chain_block,
+            "n_samples": n_samples,
+            "one_sided": one_sided,
+            "repeats": repeats,
+        },
+        "machine": {"python": platform.python_version(), "platform": platform.platform()},
+        "backends": {
+            name: {
+                "kernel_seconds": min(stats[name]["kernel_seconds"]),
+                "gemm_seconds": min(stats[name]["gemm_seconds"]),
+                "elapsed": min(stats[name]["elapsed"]),
+                "probability": probabilities[name],
+                "error": errors[name],
+            }
+            for name in measured
+        },
+    }
+    ref = record["backends"]["reference"]
+    fused = record["backends"]["numpy"]
+    record["speedup"] = {
+        name: {
+            "kernel": ref["kernel_seconds"] / record["backends"][name]["kernel_seconds"],
+            "sweep": ref["elapsed"] / record["backends"][name]["elapsed"],
+        }
+        for name in measured
+        if name != "reference"
+    }
+    record["parity"] = {
+        "numpy_bit_identical": (
+            probabilities["numpy"] == probabilities["reference"]
+            and errors["numpy"] == errors["reference"]
+        )
+    }
+    record["gate"] = {
+        "metric": "kernel speedup, numpy vs reference",
+        "threshold": KERNEL_SPEEDUP_GATE,
+        "value": record["speedup"]["numpy"]["kernel"],
+        "passed": record["speedup"]["numpy"]["kernel"] >= KERNEL_SPEEDUP_GATE
+        and record["parity"]["numpy_bit_identical"],
+    }
+
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.core.kernel_backend import resolve_backend_name
 from repro.core.methods import PARALLEL_METHODS, canonical_method
 
 __all__ = ["SolverConfig"]
@@ -50,6 +51,11 @@ class SolverConfig:
         policy; see :class:`repro.core.pmvn.PMVNOptions`).
     max_workspace_cols : int, optional
         Cap on the chains materialized at once by the batched sweep.
+    backend : str, optional
+        QMC kernel backend (``"numpy"``, ``"numba"``, ``"reference"``,
+        ``"auto"``); ``None`` follows ``$REPRO_KERNEL_BACKEND`` and defaults
+        to the fused bit-identical numpy backend.  See
+        :mod:`repro.core.kernel_backend` and ``docs/performance.md``.
     """
 
     method: str = "dense"
@@ -60,9 +66,14 @@ class SolverConfig:
     qmc: str = "richtmyer"
     chain_block: int | None = None
     max_workspace_cols: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "method", canonical_method(self.method))
+        if self.backend is not None:
+            # canonicalize and validate the name now; availability (e.g. a
+            # missing numba) is resolved at kernel-dispatch time
+            object.__setattr__(self, "backend", resolve_backend_name(self.backend))
         object.__setattr__(self, "n_samples", self._positive_int("n_samples", self.n_samples))
         object.__setattr__(self, "tile_size", self._positive_int("tile_size", self.tile_size, optional=True))
         if not (float(self.accuracy) > 0.0):

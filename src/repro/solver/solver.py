@@ -42,7 +42,7 @@ from repro.batch.cache import FactorCache
 from repro.core.crd import ConfidenceRegionResult, _confidence_region_impl
 from repro.core.factor import CholeskyFactor, factorize
 from repro.core.methods import check_factor_args
-from repro.core.pmvn import pmvn_dense, pmvn_tlr
+from repro.core.pmvn import SweepWorkspace, pmvn_dense, pmvn_tlr
 from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
 from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
@@ -186,6 +186,10 @@ class Model:
         self._sigma = np.asarray(sigma, dtype=np.float64)
         self._mean = mean
         self._factor = factor
+        # pooled sweep buffers (wave matrices + per-worker kernel/GEMM
+        # scratch) shared by every query against this model, so repeated
+        # probabilities run allocation-free after the first call
+        self._sweep_workspace = SweepWorkspace()
 
     @property
     def solver(self) -> MVNSolver:
@@ -246,11 +250,15 @@ class Model:
         return self._factor
 
     # -- queries -------------------------------------------------------------------
-    def probability(self, a, b, *, n_samples: int | None = None, rng=None, qmc: str | None = None) -> MVNResult:
+    def probability(self, a, b, *, n_samples: int | None = None, rng=None, qmc: str | None = None, timings=None) -> MVNResult:
         """Estimate ``P(a <= X <= b)`` for this model.
 
         Bit-identical to :func:`repro.mvn_probability` with the same
-        settings and seed; the factorization is reused across calls.
+        settings and seed; the factorization — and, for the factor-based
+        methods, the pooled sweep workspace — is reused across calls.
+        ``timings=`` accepts a :class:`repro.utils.timers.TimingRegistry`
+        that receives the per-phase breakdown (factorization, QMC
+        generation, kernel sweep, GEMM propagation).
         """
         solver = self._solver
         solver._check_open()
@@ -264,19 +272,22 @@ class Model:
             return mvn_sov(a, b, self._sigma, n_samples=n_samples, mean=self._mean, qmc=qmc, rng=rng)
         if method == "sov":
             return mvn_sov_vectorized(a, b, self._sigma, n_samples=n_samples, mean=self._mean, qmc=qmc, rng=rng)
-        factor = self._ensure_factor()
+        factor = self._ensure_factor(timings=timings)
         if method == "dense":
             return pmvn_dense(
                 a, b, None, n_samples=n_samples, tile_size=cfg.tile_size,
                 runtime=solver.runtime, mean=self._mean, qmc=qmc, rng=rng,
                 chain_block=cfg.chain_block, factor=factor,
+                backend=cfg.backend, workspace=self._sweep_workspace,
+                timings=timings,
             )
         # method == "tlr" (the registry admits nothing else)
         return pmvn_tlr(
             a, b, None, n_samples=n_samples, tile_size=cfg.tile_size,
             accuracy=cfg.accuracy, max_rank=cfg.max_rank, runtime=solver.runtime,
             mean=self._mean, qmc=qmc, rng=rng, chain_block=cfg.chain_block,
-            factor=factor,
+            factor=factor, backend=cfg.backend, workspace=self._sweep_workspace,
+            timings=timings,
         )
 
     def probability_batch(
@@ -305,6 +316,7 @@ class Model:
                 boxes, cfg.method, n_samples, means, cfg.accuracy, qmc, rng,
                 solver.runtime, factor, cfg.chain_block,
                 cfg.max_workspace_cols, timings,
+                backend=cfg.backend, workspace=self._sweep_workspace,
             )
         return _stamp_batch_details(results)
 
@@ -334,6 +346,7 @@ class Model:
             accuracy=cfg.accuracy, max_rank=cfg.max_rank,
             runtime=solver.runtime, qmc=qmc, rng=rng, nugget=nugget,
             timings=timings, levels=levels, cache=solver.cache,
+            backend=cfg.backend, workspace=self._sweep_workspace,
         )
 
     def _shared_means(self, n_boxes: int):

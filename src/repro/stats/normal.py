@@ -9,6 +9,14 @@ implementations here are fully vectorized:
 * ``norm_ppf`` uses ``scipy.special.ndtri`` with explicit handling of the
   0/1 endpoints so the SOV recursion never produces NaN when an interval
   probability underflows.
+
+Every hot-path function takes an optional ``out=`` buffer so the QMC kernel
+(:mod:`repro.core.kernel_backend`) can run allocation-free: with ``out=``
+given, results are written into the caller's array and no temporary is
+created.  The ``out=`` paths produce bit-identical values to the plain calls
+— they invoke the same ufuncs on the same operands (``np.clip`` is spelled
+as its definition ``minimum(maximum(x, lo), hi)``, which is both cheaper and
+exactly equivalent elementwise).
 """
 
 from __future__ import annotations
@@ -16,12 +24,21 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import ndtr, ndtri
 
-__all__ = ["norm_pdf", "norm_cdf", "norm_ppf", "norm_cdf_interval", "truncnorm_sample"]
+__all__ = [
+    "norm_pdf",
+    "norm_cdf",
+    "norm_ppf",
+    "norm_cdf_interval",
+    "truncnorm_sample",
+    "PPF_EPS",
+]
 
 _SQRT_2PI = np.sqrt(2.0 * np.pi)
-# Probabilities are clipped into [PPF_EPS, 1 - PPF_EPS] before inversion;
-# ndtri maps these to roughly +/- 8.2 standard deviations, safely finite.
-_PPF_EPS = 1e-16
+#: probabilities are clipped into [PPF_EPS, 1 - PPF_EPS] before inversion;
+#: ndtri maps these to roughly +/- 8.2 standard deviations, safely finite
+PPF_EPS = 1e-16
+# retained private alias (pre-existing internal name)
+_PPF_EPS = PPF_EPS
 
 
 def norm_pdf(x) -> np.ndarray:
@@ -30,32 +47,50 @@ def norm_pdf(x) -> np.ndarray:
     return np.exp(-0.5 * x * x) / _SQRT_2PI
 
 
-def norm_cdf(x) -> np.ndarray:
-    """Standard normal CDF ``Phi(x)``, elementwise, handling +/- infinity."""
+def norm_cdf(x, out: np.ndarray | None = None) -> np.ndarray:
+    """Standard normal CDF ``Phi(x)``, elementwise, handling +/- infinity.
+
+    With ``out=`` the result is written into the given float64 buffer
+    (which may alias ``x``) and no temporary is allocated.
+    """
+    if out is not None:
+        return ndtr(x, out=out)
     x = np.asarray(x, dtype=np.float64)
     return ndtr(x)
 
 
-def norm_ppf(p) -> np.ndarray:
+def norm_ppf(p, out: np.ndarray | None = None) -> np.ndarray:
     """Inverse standard normal CDF ``Phi^{-1}(p)``, elementwise.
 
     Probabilities are clipped away from 0 and 1 so that the result is always
     finite.  This mirrors the behaviour of the reference tlrmvnmvt code,
     which caps the transformed sample rather than propagating infinities
-    through the recursion.
+    through the recursion.  With ``out=`` the clip and the inversion both
+    write into the given buffer (which may alias ``p``).
     """
+    if out is not None:
+        np.maximum(p, PPF_EPS, out=out)
+        np.minimum(out, 1.0 - PPF_EPS, out=out)
+        return ndtri(out, out=out)
     p = np.asarray(p, dtype=np.float64)
-    clipped = np.clip(p, _PPF_EPS, 1.0 - _PPF_EPS)
+    clipped = np.clip(p, PPF_EPS, 1.0 - PPF_EPS)
     return ndtri(clipped)
 
 
-def norm_cdf_interval(a, b) -> np.ndarray:
+def norm_cdf_interval(a, b, out: np.ndarray | None = None) -> np.ndarray:
     """``Phi(b) - Phi(a)`` computed elementwise, guaranteed non-negative.
 
     For well-ordered limits the difference is mathematically non-negative,
     but cancellation can produce tiny negative values in floating point; the
     result is clipped at zero because it is used as a probability factor.
+    With ``out=`` the buffer receives ``Phi(b)``, then the subtraction of
+    ``Phi(a)`` (one temporary) and the clip happen in place.  ``out`` may
+    alias ``b`` but must not alias ``a``.
     """
+    if out is not None:
+        ndtr(b, out=out)
+        np.subtract(out, ndtr(a), out=out)
+        return np.maximum(out, 0.0, out=out)
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     diff = ndtr(b) - ndtr(a)

@@ -3,9 +3,17 @@
 These are the remaining building blocks the PMVN sweep and the tests need:
 a general tiled GEMM, a tiled forward substitution with a lower-triangular
 tile factor, and a tiled matrix-vector product.
+
+The accumulation kernels follow the hot-path discipline of
+:mod:`repro.core.kernel_backend`: products land in per-thread scratch blocks
+(``out=`` GEMM) and are axpy'd into the output tiles in place, so repeated
+trailing updates reuse warm buffers instead of allocating one fresh product
+per task.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -15,6 +23,33 @@ from repro.tile.layout import TileMatrix
 from repro.utils.validation import ensure_1d, ensure_2d
 
 __all__ = ["tiled_gemm", "tiled_lower_solve", "tiled_matvec"]
+
+# Acquire/release pool of product buffers (same pattern as SweepWorkspace in
+# repro.core.pmvn): the runtime spawns fresh worker threads per wait_all, so
+# thread-local storage would die with them — the pool persists for the
+# process, bounded in size by the number of concurrently running tasks.
+_SCRATCH_LOCK = threading.Lock()
+_SCRATCH_POOL: list[np.ndarray] = []
+_SCRATCH_SHAPE = [0, 0]
+
+
+def _acquire_scratch(rows: int, cols: int) -> np.ndarray:
+    """Check a product buffer of at least (rows, cols) out of the pool."""
+    with _SCRATCH_LOCK:
+        _SCRATCH_SHAPE[0] = max(_SCRATCH_SHAPE[0], rows)
+        _SCRATCH_SHAPE[1] = max(_SCRATCH_SHAPE[1], cols)
+        while _SCRATCH_POOL:
+            buf = _SCRATCH_POOL.pop()
+            if buf.shape[0] >= rows and buf.shape[1] >= cols:
+                return buf
+            # undersized leftover from before the high-water mark grew
+        rows, cols = _SCRATCH_SHAPE
+    return np.empty((rows, cols))
+
+
+def _release_scratch(buf: np.ndarray) -> None:
+    with _SCRATCH_LOCK:
+        _SCRATCH_POOL.append(buf)
 
 
 def _lower_tile(matrix: TileMatrix, i: int, j: int) -> np.ndarray:
@@ -48,7 +83,16 @@ def tiled_gemm(
     c_handles = {(i, j): DataHandle(c.tile(i, j), name=f"C[{i},{j}]") for i in range(c.mt) for j in range(c.nt)}
 
     def accumulate(c_tile: np.ndarray, a_tile: np.ndarray, b_tile: np.ndarray) -> None:
-        c_tile += alpha * (a_tile @ b_tile)
+        rows, cols = c_tile.shape
+        base = _acquire_scratch(rows, cols)
+        try:
+            product = base[:rows, :cols]
+            np.matmul(a_tile, b_tile, out=product)
+            if alpha != 1.0:
+                product *= alpha
+            c_tile += product
+        finally:
+            _release_scratch(base)
 
     for i in range(c.mt):
         for j in range(c.nt):
@@ -106,11 +150,15 @@ def tiled_matvec(a: TileMatrix, x: np.ndarray, symmetric: bool | None = None) ->
         raise ValueError(f"x has length {x.shape[0]}, matrix has {a.n} columns")
     symmetric = a.lower_only if symmetric is None else symmetric
     out = np.zeros(a.m)
+    scratch = np.empty(max(r1 - r0 for r0, r1 in a.row_ranges))
     for i, (r0, r1) in enumerate(a.row_ranges):
+        product = scratch[: r1 - r0]
         for j, (c0, c1) in enumerate(a.col_ranges):
             if a.lower_only and j > i:
                 if symmetric:
-                    out[r0:r1] += a.tile(j, i).T @ x[c0:c1]
+                    np.dot(a.tile(j, i).T, x[c0:c1], out=product)
+                    out[r0:r1] += product
                 continue
-            out[r0:r1] += a.tile(i, j) @ x[c0:c1]
+            np.dot(a.tile(i, j), x[c0:c1], out=product)
+            out[r0:r1] += product
     return out

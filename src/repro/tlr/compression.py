@@ -180,15 +180,22 @@ def lowrank_add(
     return recompress(LowRankTile(u, v), accuracy, max_rank)
 
 
-def lowrank_matmul_dense(tile: LowRankTile, dense: np.ndarray) -> np.ndarray:
+def lowrank_matmul_dense(tile: LowRankTile, dense: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Apply a low-rank tile to a dense block: ``(U V^T) @ dense``.
 
     Cost ``O((m + n) k p)`` instead of ``O(m n p)`` — this is the saving the
-    TLR factor brings to the PMVN limit-propagation GEMMs.
+    TLR factor brings to the PMVN limit-propagation GEMMs.  With ``out=``
+    the final (large) product is written into the caller's buffer; only the
+    small rank-sized intermediate ``V^T @ dense`` is allocated.
     """
     dense = np.asarray(dense, dtype=np.float64)
     if dense.shape[0] != tile.shape[1]:
         raise ValueError(f"dense block has {dense.shape[0]} rows, tile has {tile.shape[1]} columns")
     if tile.rank == 0:
+        if out is not None:
+            out[...] = 0.0
+            return out
         return np.zeros((tile.shape[0],) + dense.shape[1:])
+    if out is not None:
+        return np.matmul(tile.u, tile.v.T @ dense, out=out)
     return tile.u @ (tile.v.T @ dense)

@@ -17,7 +17,8 @@ from repro.utils.validation import ensure_1d, ensure_2d
 __all__ = ["tlr_matvec", "tlr_matmat", "tlr_lower_solve", "tlr_quadratic_form"]
 
 
-def tlr_matmat(matrix: TLRMatrix, x: np.ndarray, lower_factor: bool = False) -> np.ndarray:
+def tlr_matmat(matrix: TLRMatrix, x: np.ndarray, lower_factor: bool = False,
+               out: np.ndarray | None = None) -> np.ndarray:
     """Product ``A @ X`` for a TLR matrix (symmetric) or TLR lower factor.
 
     Parameters
@@ -28,21 +29,40 @@ def tlr_matmat(matrix: TLRMatrix, x: np.ndarray, lower_factor: bool = False) -> 
         zero and diagonal blocks as lower-triangular).
     x : ndarray (n, k)
         Dense block to multiply.
+    out : ndarray (n, k), optional
+        Preallocated accumulation target (overwritten).  Block products are
+        staged in one tile-sized scratch and axpy'd into ``out`` in place,
+        so repeated applications (e.g. power iterations, per-chain-block
+        propagation) allocate nothing beyond the small rank-sized factors.
     """
     x = ensure_2d(x, "x")
     if x.shape[0] != matrix.n:
         raise ValueError(f"x has {x.shape[0]} rows, matrix is {matrix.n}x{matrix.n}")
-    out = np.zeros((matrix.n, x.shape[1]))
+    if out is None:
+        out = np.zeros((matrix.n, x.shape[1]))
+    else:
+        if out.shape != (matrix.n, x.shape[1]):
+            raise ValueError(
+                f"out must have shape {(matrix.n, x.shape[1])}, got {out.shape}"
+            )
+        out[...] = 0.0
+    scratch = np.empty((matrix.tile_size, x.shape[1]))
     for i, (r0, r1) in enumerate(matrix.ranges):
         diag = matrix.diagonal[i]
         diag_block = np.tril(diag) if lower_factor else diag
-        out[r0:r1] += diag_block @ x[r0:r1]
+        product = scratch[: r1 - r0]
+        np.matmul(diag_block, x[r0:r1], out=product)
+        out[r0:r1] += product
         for j, (c0, c1) in enumerate(matrix.ranges[:i]):
             tile = matrix.offdiag[(i, j)]
             if tile.rank:
-                out[r0:r1] += tile.u @ (tile.v.T @ x[c0:c1])
+                product = scratch[: r1 - r0]
+                np.matmul(tile.u, tile.v.T @ x[c0:c1], out=product)
+                out[r0:r1] += product
                 if not lower_factor:
-                    out[c0:c1] += tile.v @ (tile.u.T @ x[r0:r1])
+                    product = scratch[: c1 - c0]
+                    np.matmul(tile.v, tile.u.T @ x[r0:r1], out=product)
+                    out[c0:c1] += product
     return out
 
 
@@ -63,11 +83,14 @@ def tlr_lower_solve(factor: TLRMatrix, rhs: np.ndarray) -> np.ndarray:
     x = ensure_2d(rhs.reshape(-1, 1) if vector else rhs, "rhs").copy()
     if x.shape[0] != factor.n:
         raise ValueError(f"rhs has {x.shape[0]} rows, factor is {factor.n}x{factor.n}")
+    scratch = np.empty((factor.tile_size, x.shape[1]))
     for i, (r0, r1) in enumerate(factor.ranges):
         for j, (c0, c1) in enumerate(factor.ranges[:i]):
             tile = factor.offdiag[(i, j)]
             if tile.rank:
-                x[r0:r1] -= tile.u @ (tile.v.T @ x[c0:c1])
+                product = scratch[: r1 - r0]
+                np.matmul(tile.u, tile.v.T @ x[c0:c1], out=product)
+                x[r0:r1] -= product
         x[r0:r1] = solve_triangular(
             np.tril(factor.diagonal[i]), x[r0:r1], lower=True, check_finite=False
         )

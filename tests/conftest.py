@@ -8,6 +8,14 @@ import pytest
 from repro.kernels import ExponentialKernel, Geometry, MaternKernel, build_covariance
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: quick-mode checks of the performance benchmark plumbing "
+        "(select with `pytest -m perf_smoke`)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -56,7 +56,7 @@ class TestDoctests:
 
 
 class TestDocumentSnippets:
-    @pytest.mark.parametrize("name", ["README.md", "docs/batch.md", "docs/solver.md"])
+    @pytest.mark.parametrize("name", ["README.md", "docs/batch.md", "docs/solver.md", "docs/performance.md"])
     def test_python_blocks_execute(self, name):
         for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):
             namespace: dict = {}

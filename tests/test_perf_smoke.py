@@ -1,0 +1,67 @@
+"""Quick-mode smoke test of the kernel hot-path benchmark.
+
+Runs the same harness as ``benchmarks/bench_kernel_hotpath.py`` at tiny
+sizes: no timing gate (timings at this scale are noise), but the plumbing —
+backend sweep, phase attribution, parity verdict, JSON emission — must work,
+so regressions in the kernel/benchmark wiring fail fast in tier-1.
+
+Select just these with ``pytest -m perf_smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.hotpath import run_hotpath_benchmark
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_hotpath_benchmark_smoke(tmp_path):
+    json_path = tmp_path / "BENCH_kernel_hotpath.json"
+    record = run_hotpath_benchmark(
+        n=36, tile_size=6, chain_block=32, n_samples=64, repeats=1,
+        json_path=json_path,
+    )
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "kernel_hotpath"
+    assert on_disk["workload"]["n"] == 36
+
+    for name in ("numpy", "reference"):
+        backend = record["backends"][name]
+        assert backend["kernel_seconds"] > 0.0
+        assert backend["elapsed"] > 0.0
+    # the estimator itself must agree bit for bit even in quick mode — only
+    # the *speed* gate needs the full-size run
+    assert record["parity"]["numpy_bit_identical"]
+    assert record["backends"]["numpy"]["probability"] > 0.0
+    assert record["speedup"]["numpy"]["kernel"] > 0.0
+    assert record["gate"]["threshold"] == 1.5
+
+
+def test_unavailable_backend_not_faked(tmp_path):
+    """A requested backend that falls back must not appear as its own row."""
+    from repro.core.kernel_backend import available_backends
+
+    if "numba" in available_backends():
+        pytest.skip("numba installed: the fallback path cannot be exercised")
+    record = run_hotpath_benchmark(
+        n=25, tile_size=5, chain_block=16, n_samples=32, repeats=1,
+        backends=("numpy", "reference", "numba"),
+        json_path=tmp_path / "bench.json",
+    )
+    assert "numba" not in record["backends"]
+    assert set(record["backends"]) == {"numpy", "reference"}
+
+
+def test_hotpath_two_sided_smoke(tmp_path):
+    record = run_hotpath_benchmark(
+        n=25, tile_size=5, chain_block=16, n_samples=32, repeats=1,
+        one_sided=False, json_path=tmp_path / "bench.json",
+    )
+    assert record["workload"]["one_sided"] is False
+    assert record["parity"]["numpy_bit_identical"]
