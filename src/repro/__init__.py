@@ -16,6 +16,8 @@ Abdulah, Cao, Ltaief, Sun, Genton and Keyes.  The package provides:
   (:mod:`repro.solver`),
 * batched many-query evaluation with a factorization cache
   (:mod:`repro.batch`),
+* concurrent query serving — a micro-batching ``QueryBroker`` over sharded
+  warm solvers (:mod:`repro.serve`),
 * datasets, a simulated distributed-memory cluster and performance models
   (:mod:`repro.datasets`, :mod:`repro.distributed`, :mod:`repro.perf`).
 
@@ -61,14 +63,17 @@ from repro.core.factor import factorize
 from repro.batch import FactorCache
 from repro.mvn import MVNResult, mvn_mc, mvn_sov, mvn_sov_vectorized
 from repro.runtime import Runtime
+from repro.serve import QueryBroker, ServeConfig
 from repro.solver import Model, MVNSolver, SolverConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MVNSolver",
     "Model",
     "SolverConfig",
+    "QueryBroker",
+    "ServeConfig",
     "mvn_probability",
     "mvn_probability_batch",
     "FactorCache",

@@ -28,10 +28,11 @@ See ``docs/batch.md`` for a walkthrough.
 """
 
 from repro.batch.batched import boxes_from_arrays, load_boxes, mvn_probability_batch
-from repro.batch.cache import FactorCache, sigma_fingerprint
+from repro.batch.cache import FactorCache, FingerprintMemo, sigma_fingerprint
 
 __all__ = [
     "FactorCache",
+    "FingerprintMemo",
     "sigma_fingerprint",
     "mvn_probability_batch",
     "boxes_from_arrays",

@@ -22,6 +22,7 @@ call would build.
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 
@@ -29,21 +30,78 @@ import numpy as np
 
 from repro.core.factor import CholeskyFactor, factorize
 
-__all__ = ["FactorCache", "sigma_fingerprint"]
+__all__ = ["FactorCache", "FingerprintMemo", "sigma_fingerprint"]
 
 
 def sigma_fingerprint(sigma) -> str:
-    """Content hash of a covariance matrix (shape + dtype + bytes).
+    """Content hash of a covariance matrix (shape + normalized bytes).
 
     Two arrays with equal contents fingerprint identically regardless of
     object identity, so a cache survives reloading the matrix from disk.
+    The input is normalized to a C-contiguous ``float64`` array before
+    hashing: every factorization path converts to ``float64`` anyway, so a
+    ``float32`` or transposed/strided view of the same values must not miss
+    the cache (nor land on a different serve shard) just because its bytes
+    are laid out differently.
+
+    >>> import numpy as np
+    >>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+    >>> sigma_fingerprint(sigma) == sigma_fingerprint(sigma.astype(np.float32))
+    True
+    >>> sigma_fingerprint(sigma) == sigma_fingerprint(sigma.T.copy().T)
+    True
     """
-    arr = np.ascontiguousarray(sigma)
+    arr = np.ascontiguousarray(np.asarray(sigma, dtype=np.float64))
     digest = hashlib.sha256()
     digest.update(str(arr.shape).encode())
-    digest.update(str(arr.dtype).encode())
     digest.update(arr.tobytes())
     return digest.hexdigest()
+
+
+class FingerprintMemo:
+    """Object-identity fast path over :func:`sigma_fingerprint`.
+
+    Hashing an ``n x n`` covariance is ``O(n^2)``, so repeated lookups with
+    the *same array object* short-circuit through a weak identity memo and
+    skip the content hash.  That assumes the arrays are immutable while
+    memoized: mutating one in place and reusing the same object can return
+    the fingerprint of the old contents — pass a fresh array after in-place
+    edits.  Both :class:`FactorCache` and the serving broker
+    (:class:`repro.serve.QueryBroker`) route their lookups through one of
+    these; the memo bookkeeping is guarded by a lock, so concurrent
+    ``submit()`` callers can share one safely (the ``O(n^2)`` content hash
+    itself runs outside the lock).
+    """
+
+    def __init__(self, size: int = 16) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = int(size)
+        self._lock = threading.Lock()
+        # id -> (weakref to array, fingerprint); weak so the memo never pins
+        # covariance arrays in memory, and a dead/reused id simply re-hashes
+        self._memo: OrderedDict[int, tuple[weakref.ref, str]] = OrderedDict()
+
+    def fingerprint(self, sigma) -> str:
+        """Content fingerprint of ``sigma``, memoized on object identity."""
+        if isinstance(sigma, np.ndarray):
+            with self._lock:
+                memo = self._memo.get(id(sigma))
+                if memo is not None and memo[0]() is sigma:
+                    self._memo.move_to_end(id(sigma))
+                    return memo[1]
+        fingerprint = sigma_fingerprint(sigma)
+        if isinstance(sigma, np.ndarray):
+            try:
+                ref = weakref.ref(sigma)
+            except TypeError:  # pragma: no cover - exotic ndarray subclass
+                pass
+            else:
+                with self._lock:
+                    self._memo[id(sigma)] = (ref, fingerprint)
+                    while len(self._memo) > self.size:
+                        self._memo.popitem(last=False)
+        return fingerprint
 
 
 class FactorCache:
@@ -67,45 +125,24 @@ class FactorCache:
 
     Notes
     -----
-    Hashing an ``n x n`` covariance is ``O(n^2)``, so repeated lookups with
-    the *same array object* short-circuit through a weak identity memo and
-    skip the content hash.  That assumes the arrays are immutable while
-    cached: mutating one in place and reusing the same object can serve a
-    factor of the old contents — pass a fresh array after in-place edits.
+    Lookups go through a :class:`FingerprintMemo`, so repeated calls with
+    the *same array object* skip the ``O(n^2)`` content hash; the memo's
+    immutability caveat applies.
     """
-
-    #: identity-memo capacity (arrays recently fingerprinted)
-    _FP_MEMO_SIZE = 16
 
     def __init__(self, max_entries: int = 8) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[tuple, CholeskyFactor] = OrderedDict()
-        # id -> (weakref to array, fingerprint); weak so the memo never pins
-        # covariance arrays in memory, and a dead/reused id simply re-hashes
-        self._fp_memo: OrderedDict[int, tuple[weakref.ref, str]] = OrderedDict()
+        self._fp_memo = FingerprintMemo()
         self.factorize_count = 0
         self.hits = 0
         self.misses = 0
 
     def _fingerprint(self, sigma) -> str:
         """Content fingerprint with an object-identity fast path."""
-        if isinstance(sigma, np.ndarray):
-            memo = self._fp_memo.get(id(sigma))
-            if memo is not None and memo[0]() is sigma:
-                self._fp_memo.move_to_end(id(sigma))
-                return memo[1]
-        fingerprint = sigma_fingerprint(sigma)
-        if isinstance(sigma, np.ndarray):
-            try:
-                self._fp_memo[id(sigma)] = (weakref.ref(sigma), fingerprint)
-            except TypeError:  # pragma: no cover - exotic ndarray subclass
-                pass
-            else:
-                while len(self._fp_memo) > self._FP_MEMO_SIZE:
-                    self._fp_memo.popitem(last=False)
-        return fingerprint
+        return self._fp_memo.fingerprint(sigma)
 
     def __len__(self) -> int:
         return len(self._entries)

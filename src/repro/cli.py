@@ -14,6 +14,11 @@ Three subcommands cover the library's main workflows without writing Python:
     Run confidence-region detection on a synthetic dataset (or a covariance /
     mean pair loaded from ``.npy``) and optionally save the result.
 
+``repro serve-bench``
+    Replay a mixed multi-covariance workload through the concurrent serving
+    subsystem (:mod:`repro.serve`) and report throughput vs a cold
+    single-query loop, with batching/sharding statistics.
+
 ``repro calibrate``
     Measure the local kernel rates used by the performance models.
 
@@ -104,6 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-phase timing breakdown of the detection")
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
     crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="serving-throughput benchmark: micro-batched shards vs cold singles",
+    )
+    serve.add_argument("--queries", type=int, default=64, help="total queries in the workload")
+    serve.add_argument("--sigmas", type=int, default=2, help="distinct covariances (>= 2)")
+    serve.add_argument("--dimension", type=int, default=400, help="MVN dimension of each covariance")
+    serve.add_argument("--samples", type=int, default=200, help="QMC sample size per query")
+    serve.add_argument("--method", default="tlr", choices=["dense", "tlr"])
+    serve.add_argument("--shards", type=int, default=2, help="warm solver shards")
+    serve.add_argument("--max-batch", type=int, default=16, help="micro-batch capacity")
+    serve.add_argument("--mode", default="thread", choices=["auto", "thread", "process"],
+                       help="shard worker mode")
+    serve.add_argument("--repeats", type=int, default=2, help="timed repetitions (minima reported)")
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument("--json", type=Path, default=None,
+                       help="also write the machine-readable record to this path")
 
     cal = sub.add_parser("calibrate", help="measure local kernel rates")
     cal.add_argument("--tile-size", type=int, default=256)
@@ -251,6 +274,37 @@ def _cmd_crd(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.perf.serving import SERVING_SPEEDUP_GATE, run_serving_benchmark
+    from repro.serve.stats import ServeStats
+    from repro.utils.reporting import Table
+
+    record = run_serving_benchmark(
+        n=args.dimension, n_queries=args.queries, n_sigmas=args.sigmas,
+        n_samples=args.samples, method=args.method, n_shards=args.shards,
+        max_batch=args.max_batch, worker_mode=args.mode, repeats=args.repeats,
+        seed=args.seed, json_path=args.json,
+    )
+    table = Table(
+        ["path", "elapsed (s)", "queries/s"],
+        title=f"{args.queries} queries, {args.sigmas} Sigmas, n={args.dimension}, "
+              f"N={args.samples}, {args.method}, {args.shards} shards ({args.mode})",
+    )
+    for name, data in record["paths"].items():
+        table.add_row([name, f"{data['elapsed']:.3f}", f"{data['queries_per_second']:.2f}"])
+    table.add_row(["speedup", f"{record['speedup']:.2f}x", ""])
+    print(table.render())
+    print()
+    stats = ServeStats.from_dict(record["serving"]["stats"], max_batch=args.max_batch)
+    print(stats.render())
+    print()
+    print(f"bit-identical to direct solver calls: {record['parity']['served_bit_identical']}")
+    print(f"gate (>= {SERVING_SPEEDUP_GATE}x): {'passed' if record['gate']['passed'] else 'FAILED'}")
+    if args.json is not None:
+        print(f"wrote {args.json}")
+    return 0 if record["gate"]["passed"] else 1
+
+
 def _cmd_calibrate(args) -> int:
     from repro.perf import calibrate
 
@@ -267,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "crd":
         return _cmd_crd(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -17,6 +17,7 @@ kernel rates onto modelled architectures and cluster sizes:
 from repro.perf.machines import MachineSpec, MACHINES, get_machine
 from repro.perf.calibration import CalibrationResult, calibrate
 from repro.perf.hotpath import run_hotpath_benchmark, hotpath_workload
+from repro.perf.serving import run_serving_benchmark, serving_workload
 from repro.perf.models import (
     PMVNCostModel,
     dense_cholesky_flops,
@@ -33,6 +34,8 @@ __all__ = [
     "calibrate",
     "run_hotpath_benchmark",
     "hotpath_workload",
+    "run_serving_benchmark",
+    "serving_workload",
     "PMVNCostModel",
     "dense_cholesky_flops",
     "tlr_cholesky_model_flops",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.runtime.graph import TaskGraph
@@ -59,6 +60,11 @@ class Runtime:
     closed.
     """
 
+    #: executed-task objects retained for inspection; long-lived runtimes
+    #: (solver sessions, serve shards) would otherwise accumulate every Task
+    #: — and the argument buffers its closures reference — forever
+    EXECUTED_HISTORY = 1024
+
     def __init__(self, n_workers: int = 1, policy: str = "prio", trace: bool = False) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -66,7 +72,8 @@ class Runtime:
         self.policy = policy
         self.graph = TaskGraph()
         self.trace: ExecutionTrace | None = ExecutionTrace() if trace else None
-        self._executed: list[Task] = []
+        self._executed: deque[Task] = deque(maxlen=self.EXECUTED_HISTORY)
+        self.tasks_executed = 0
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------------
@@ -158,6 +165,7 @@ class Runtime:
         else:
             failures = self._run_threaded(pending)
         self._executed.extend(pending)
+        self.tasks_executed += len(pending)
         # reset the graph so the runtime can be reused for the next phase
         self.graph = TaskGraph()
         if failures and raise_on_error:
@@ -295,6 +303,13 @@ class Runtime:
 
     @property
     def executed_tasks(self) -> list[Task]:
+        """The most recent executed tasks (bounded by ``EXECUTED_HISTORY``).
+
+        The total across the runtime's lifetime is ``tasks_executed``;
+        only the trailing window of Task objects is retained so long-lived
+        owners (solver sessions, serve shards) do not leak every task ever
+        run.
+        """
         return list(self._executed)
 
     def __enter__(self) -> "Runtime":

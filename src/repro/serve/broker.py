@@ -1,0 +1,512 @@
+"""The query broker: concurrent submissions in, micro-batched sweeps out.
+
+:class:`QueryBroker` is the front door of :mod:`repro.serve`.  Callers —
+request handlers, asyncio tasks, plain threads — call :meth:`QueryBroker.submit`
+from anywhere and get a :class:`concurrent.futures.Future` back immediately;
+``future.result()`` (or ``await asyncio.wrap_future(future)``) delivers the
+:class:`repro.mvn.result.MVNResult`.
+
+Behind the ``submit()`` queue a single dispatcher thread **micro-batches**:
+requests sharing one batch key — covariance fingerprint (see
+:func:`repro.batch.cache.sigma_fingerprint`), sample size, QMC sequence and
+seed — are grouped, for at most ``batch_window`` seconds or until
+``max_batch`` requests, into one
+:meth:`repro.solver.Model.probability_batch` call, dispatched to the shard
+that owns the fingerprint (:func:`repro.serve.pool.shard_for_fingerprint`).
+Batching changes the schedule, never the estimator, and the shard runs the
+very same solver code a direct caller would — so served probabilities are
+bit-identical to direct :class:`repro.solver.Model` calls with the same
+seed (``tests/test_serve.py`` pins this per kernel backend).
+
+Backpressure is a hard cap on submitted-but-unfinished requests
+(``max_pending``): at the limit ``submit`` blocks, and ``submit(...,
+timeout=0)`` raises :class:`ServeOverloadedError` instead — load-shedding
+for latency-sensitive callers.  :meth:`QueryBroker.stats` exposes queue
+depth, batch fill and per-shard factor-cache hit rates
+(:class:`repro.serve.stats.ServeStats`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+
+import numpy as np
+
+from repro.batch.cache import FingerprintMemo
+from repro.serve.config import ServeConfig
+from repro.serve.pool import ModelRoster, ShardPool
+from repro.serve.stats import ServeStats, ShardSnapshot
+from repro.solver.config import SolverConfig
+from repro.utils.validation import check_limits
+
+__all__ = ["QueryBroker", "ServeError", "ServeOverloadedError"]
+
+#: dispatcher-queue sentinel: flush everything, stop the shards, exit
+_CLOSE = object()
+
+
+class ServeOverloadedError(RuntimeError):
+    """Raised by ``submit`` when backpressure rejects a request."""
+
+
+class ServeError(RuntimeError):
+    """A shard failed to evaluate the batch containing this request."""
+
+
+class _Request:
+    """One submitted query, waiting to be batched.
+
+    Carries its (normalized) covariance so the dispatcher can ship it to a
+    shard that lacks the model — the broker holds no covariance registry of
+    its own, so a Sigma only stays in memory while requests for it are
+    pending (or a shard keeps its warm model).
+    """
+
+    __slots__ = ("a", "b", "sigma", "mean", "future", "enqueued")
+
+    def __init__(self, a, b, sigma, mean, future, enqueued) -> None:
+        self.a = a
+        self.b = b
+        self.sigma = sigma
+        self.mean = mean
+        self.future = future
+        self.enqueued = enqueued
+
+
+class _Bucket:
+    """Requests accumulating toward one micro-batch (one batch key)."""
+
+    __slots__ = ("requests", "deadline")
+
+    def __init__(self, deadline: float) -> None:
+        self.requests: list[_Request] = []
+        self.deadline = deadline
+
+
+class QueryBroker:
+    """Serve many concurrent MVN probability queries from warm solver shards.
+
+    Parameters
+    ----------
+    config : ServeConfig, optional
+        Serving knobs (shards, worker mode, batching, backpressure);
+        defaults to ``ServeConfig()``.
+    solver_config : SolverConfig or str, optional
+        Evaluation settings every shard solver is built from; a method
+        string is accepted as shorthand.  Defaults to ``SolverConfig()``.
+
+    Notes
+    -----
+    The broker is a context manager; :meth:`close` drains every pending
+    request, shuts the shards down cleanly and makes later ``submit`` calls
+    raise :class:`RuntimeError`.
+
+    >>> import numpy as np
+    >>> from repro.serve import QueryBroker, ServeConfig
+    >>> from repro.solver import SolverConfig
+    >>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+    >>> with QueryBroker(ServeConfig(n_shards=1, worker_mode="thread"),
+    ...                  SolverConfig(method="dense", n_samples=400)) as broker:
+    ...     futures = [broker.submit([-np.inf, -np.inf], [u, u], sigma, rng=0)
+    ...                for u in (0.0, 1.0)]
+    ...     p0, p1 = (f.result().probability for f in futures)
+    >>> p0 < p1
+    True
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 solver_config: SolverConfig | str | None = None) -> None:
+        if config is None:
+            config = ServeConfig()
+        elif not isinstance(config, ServeConfig):
+            raise TypeError(f"config must be a ServeConfig, got {type(config).__name__}")
+        if solver_config is None:
+            solver_config = SolverConfig()
+        elif isinstance(solver_config, str):
+            solver_config = SolverConfig(method=solver_config)
+        elif not isinstance(solver_config, SolverConfig):
+            raise TypeError(
+                f"solver_config must be a SolverConfig or method string, "
+                f"got {type(solver_config).__name__}"
+            )
+        self.config = config
+        self.solver_config = solver_config
+
+        self._pool = ShardPool(
+            config.n_shards, solver_config,
+            worker_mode=config.resolved_worker_mode(),
+            n_workers=config.n_workers, policy=config.policy,
+            cache_entries=config.cache_entries,
+        )
+        self._fingerprints = FingerprintMemo()
+        # broker-side mirror of each shard's model LRU: the same ModelRoster
+        # code the worker runs, updated in the same (FIFO queue) order, so
+        # the broker knows when a shard needs the covariance re-shipped
+        self._rosters = [ModelRoster(config.cache_entries) for _ in range(config.n_shards)]
+
+        self._queue: queue.Queue = queue.Queue()
+        self._slots = threading.BoundedSemaphore(config.max_pending)
+        self._submit_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._batch_ids = itertools.count()
+        # batch_id -> (requests, shard_id, dispatched_at)
+        self._inflight: dict[int, tuple[list[_Request], int, float]] = {}
+        self._stats = ServeStats(max_batch=config.max_batch)
+        self._stats.shards = [ShardSnapshot(shard=i) for i in range(config.n_shards)]
+
+        self._pool.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True, name="repro-serve-dispatcher"
+        )
+        self._collectors = [
+            threading.Thread(target=self._collect_loop, args=(i,), daemon=True,
+                             name=f"repro-serve-collector-{i}")
+            for i in range(config.n_shards)
+        ]
+        self._dispatcher.start()
+        for collector in self._collectors:
+            collector.start()
+
+    # -- submission ------------------------------------------------------------------
+    def submit(self, a, b, sigma, *, mean=None, n_samples: int | None = None,
+               rng=None, qmc: str | None = None, timeout: float | None = None) -> Future:
+        """Queue one probability query; returns a Future of its result.
+
+        Parameters
+        ----------
+        a, b : array_like (n,)
+            Integration limits (``+/- inf`` allowed).
+        sigma : array_like (n, n)
+            Covariance matrix; queries sharing a covariance (by *content*)
+            are routed to the same warm shard and micro-batched together.
+        mean : scalar or array_like (n,), optional
+            Field mean, absorbed into the limits exactly like
+            ``Model(sigma, mean=...)``.
+        n_samples, qmc : optional
+            Per-request overrides of the solver config (part of the batch
+            key: only requests with equal settings share a sweep).
+        rng : int or None
+            QMC randomization seed.  Serving requires a reproducible seed
+            (or ``None`` for fresh entropy per request); generator objects
+            are rejected because they cannot be shared with a shard without
+            changing the stream.
+        timeout : float, optional
+            Backpressure behaviour at ``max_pending`` outstanding requests:
+            ``None`` (default) blocks until a slot frees, a number waits at
+            most that many seconds, ``0`` raises
+            :class:`ServeOverloadedError` immediately.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to the :class:`repro.mvn.result.MVNResult`, with
+            serving metadata under ``result.details["serve"]``.  Awaitable
+            via ``asyncio.wrap_future``.
+        """
+        if rng is not None and not isinstance(rng, (int, np.integer)):
+            raise TypeError(
+                "serve submissions take rng=None or an integer seed, got "
+                f"{type(rng).__name__} (generator objects cannot be shared "
+                "with a shard without changing the stream)"
+            )
+        sigma_arr = np.ascontiguousarray(np.asarray(sigma, dtype=np.float64))
+        if sigma_arr.ndim != 2 or sigma_arr.shape[0] != sigma_arr.shape[1]:
+            raise ValueError(f"sigma must be a square matrix, got shape {sigma_arr.shape}")
+        n = sigma_arr.shape[0]
+        a_vec, b_vec = check_limits(a, b, n)
+        mean_vec = self._normalize_mean(mean, n)
+
+        fingerprint = self._fingerprints.fingerprint(sigma_arr)
+        key = (
+            fingerprint,
+            self.solver_config.n_samples if n_samples is None else int(n_samples),
+            self.solver_config.qmc if qmc is None else str(qmc),
+            None if rng is None else int(rng),
+        )
+
+        if not self._slots.acquire(timeout=timeout):
+            with self._state_lock:
+                self._stats.rejected += 1
+            raise ServeOverloadedError(
+                f"serving queue is full ({self.config.max_pending} outstanding "
+                "requests); retry later or raise ServeConfig.max_pending"
+            )
+        future: Future = Future()
+        request = _Request(a_vec, b_vec, sigma_arr, mean_vec, future, time.perf_counter())
+        try:
+            with self._submit_lock:
+                if self._closed:
+                    raise RuntimeError("this QueryBroker is closed; create a new one")
+                with self._state_lock:
+                    self._stats.submitted += 1
+                    self._stats.queue_depth += 1
+                    self._stats.max_queue_depth = max(
+                        self._stats.max_queue_depth, self._stats.queue_depth
+                    )
+                self._queue.put((key, request))
+        except BaseException:
+            self._slots.release()
+            raise
+        return future
+
+    def submit_async(self, a, b, sigma, **kwargs):
+        """``submit`` wrapped for asyncio: returns an awaitable future.
+
+        Must be called from a running event loop (it binds the returned
+        future to it); the blocking-submit caveats of ``timeout=`` apply to
+        the synchronous part.
+        """
+        import asyncio
+
+        return asyncio.wrap_future(self.submit(a, b, sigma, **kwargs))
+
+    @staticmethod
+    def _normalize_mean(mean, n: int) -> np.ndarray | None:
+        """Per-request means as length-``n`` vectors (``None`` = zero mean)."""
+        if mean is None:
+            return None
+        if np.isscalar(mean):
+            mu = float(mean)
+            return None if mu == 0.0 else np.full(n, mu)
+        mean = np.asarray(mean, dtype=np.float64)
+        if mean.ndim == 0:
+            mu = float(mean)
+            return None if mu == 0.0 else np.full(n, mu)
+        if mean.shape != (n,):
+            raise ValueError(f"mean must be a scalar or length-{n} vector, got shape {mean.shape}")
+        return mean
+
+    # -- lifecycle -------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed broker rejects submissions)."""
+        return self._closed
+
+    def __enter__(self) -> "QueryBroker":
+        if self._closed:
+            raise RuntimeError("this QueryBroker is closed; create a new one")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self, timeout: float | None = 60.0) -> None:
+        """Drain every pending request, stop the shards, join the workers.
+
+        Idempotent.  Every already-submitted Future resolves (the shards
+        finish their queued batches before acknowledging the stop); new
+        ``submit`` calls raise immediately.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put((None, _CLOSE))
+        self._dispatcher.join(timeout)
+        for collector in self._collectors:
+            collector.join(timeout)
+        self._pool.join(timeout)
+
+    # -- observability ---------------------------------------------------------------
+    def stats(self) -> ServeStats:
+        """A consistent snapshot of the serving counters."""
+        with self._state_lock:
+            snapshot = ServeStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                rejected=self._stats.rejected,
+                batches=self._stats.batches,
+                queue_depth=self._stats.queue_depth,
+                max_queue_depth=self._stats.max_queue_depth,
+                max_batch=self._stats.max_batch,
+                shards=[ShardSnapshot(**vars(s)) for s in self._stats.shards],
+            )
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueryBroker(shards={self.config.n_shards}, "
+            f"mode={self._pool.worker_mode!r}, method={self.solver_config.method!r}, "
+            f"{state})"
+        )
+
+    # -- dispatcher ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        buckets: dict[tuple, _Bucket] = {}
+        window = self.config.batch_window
+        max_batch = self.config.max_batch
+        while True:
+            timeout = None
+            if buckets:
+                now = time.perf_counter()
+                timeout = max(0.0, min(b.deadline for b in buckets.values()) - now)
+            try:
+                items = [self._queue.get(timeout=timeout)]
+            except queue.Empty:
+                items = []
+            # drain the whole backlog before making any batching decision:
+            # requests that queued up while a shard was busy must coalesce
+            # even when their window already expired (the window bounds how
+            # long the *dispatcher* may idle, not how full a batch can get)
+            while True:
+                try:
+                    items.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            closing = False
+            for key, item in items:
+                if item is _CLOSE:
+                    closing = True  # submit() rejects after close: no later items
+                    continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    bucket = buckets[key] = _Bucket(item.enqueued + window)
+                bucket.requests.append(item)
+                if len(bucket.requests) >= max_batch:
+                    self._flush(key, buckets.pop(key))
+            if closing:
+                for bucket_key in list(buckets):
+                    self._flush(bucket_key, buckets.pop(bucket_key))
+                self._pool.stop()
+                return
+            if buckets:
+                now = time.perf_counter()
+                for bucket_key in [k for k, b in buckets.items() if b.deadline <= now]:
+                    self._flush(bucket_key, buckets.pop(bucket_key))
+
+    def _flush(self, key: tuple, bucket: _Bucket) -> None:
+        """Dispatch one micro-batch to the shard owning its fingerprint."""
+        fingerprint, n_samples, qmc, seed = key
+        requests = bucket.requests
+        shard_id = self._pool.route(fingerprint)
+        sigma = requests[0].sigma if self._roster_insert(shard_id, fingerprint) else None
+        boxes = [(request.a, request.b) for request in requests]
+        if all(request.mean is None for request in requests):
+            means = None
+        else:
+            means = np.stack([
+                request.mean if request.mean is not None else np.zeros(len(request.a))
+                for request in requests
+            ])
+        batch_id = next(self._batch_ids)
+        with self._state_lock:
+            self._inflight[batch_id] = (requests, shard_id, time.perf_counter())
+            self._stats.batches += 1
+        self._pool.send(
+            shard_id,
+            ("batch", batch_id, fingerprint, sigma, boxes, means, n_samples, qmc, seed),
+        )
+
+    def _roster_insert(self, shard_id: int, fingerprint: str) -> bool:
+        """Track the shard's model LRU; True when sigma must be shipped.
+
+        Runs the same :class:`~repro.serve.pool.ModelRoster` rule as
+        :func:`repro.serve.pool.shard_serve_loop`, in the same (FIFO queue)
+        order, so the mirror cannot drift from the worker.
+        """
+        roster = self._rosters[shard_id]
+        if roster.get(fingerprint) is not None:
+            return False
+        roster.insert(fingerprint, True)
+        return True
+
+    # -- collectors ------------------------------------------------------------------
+    #: how often an idle collector re-checks that its shard worker is alive
+    _LIVENESS_INTERVAL = 0.5
+
+    def _collect_loop(self, shard_id: int) -> None:
+        responses = self._pool.response_queue(shard_id)
+        worker = self._pool.shards[shard_id].worker
+        while True:
+            try:
+                message = responses.get(timeout=self._LIVENESS_INTERVAL)
+            except queue.Empty:
+                # a crashed worker (OOM-killed process, hard fault) sends no
+                # response: fail its in-flight batches instead of letting the
+                # futures — and their backpressure slots — hang forever
+                if not worker.is_alive():
+                    self._fail_shard_inflight(
+                        shard_id, "shard worker died without responding"
+                    )
+                    if self._closed:
+                        return
+                continue
+            kind = message[0]
+            if kind == "stopped":
+                with self._state_lock:
+                    self._apply_shard_stats(message[1])
+                return
+            if kind == "ok":
+                _, batch_id, results, shard_stats = message
+                with self._state_lock:
+                    entry = self._inflight.pop(batch_id, None)
+                    if entry is None:
+                        # the batch was already failed by the liveness check
+                        # (response raced the worker's death); futures are
+                        # resolved, slots released — nothing left to do
+                        self._apply_shard_stats(shard_stats)
+                        continue
+                    requests, _, dispatched_at = entry
+                    self._apply_shard_stats(shard_stats)
+                    self._stats.completed += len(requests)
+                    self._stats.queue_depth -= len(requests)
+                batch_size = len(requests)
+                for request, result in zip(requests, results):
+                    result.details["serve"] = {
+                        "shard": shard_id,
+                        "batch_size": batch_size,
+                        "batch_fill": batch_size / self.config.max_batch,
+                        "queue_seconds": dispatched_at - request.enqueued,
+                    }
+                    self._resolve(request.future, result=result)
+            else:  # "error"
+                _, batch_id, detail = message
+                with self._state_lock:
+                    entry = self._inflight.pop(batch_id, None)
+                    if entry is None:
+                        continue  # already failed by the liveness check
+                    requests, _, _ = entry
+                    self._stats.failed += len(requests)
+                    self._stats.queue_depth -= len(requests)
+                error = ServeError(f"shard {shard_id} failed the batch: {detail}")
+                for request in requests:
+                    self._resolve(request.future, error=error)
+
+    def _fail_shard_inflight(self, shard_id: int, detail: str) -> None:
+        """Reject every in-flight batch assigned to a (dead) shard."""
+        with self._state_lock:
+            doomed = [batch_id for batch_id, (_, owner, _) in self._inflight.items()
+                      if owner == shard_id]
+            batches = [self._inflight.pop(batch_id) for batch_id in doomed]
+            count = sum(len(requests) for requests, _, _ in batches)
+            self._stats.failed += count
+            self._stats.queue_depth -= count
+        error = ServeError(f"shard {shard_id} failed the batch: {detail}")
+        for requests, _, _ in batches:
+            for request in requests:
+                self._resolve(request.future, error=error)
+
+    def _apply_shard_stats(self, payload: dict) -> None:
+        """Overwrite the shard's snapshot with its latest self-report."""
+        snapshot = self._stats.shards[payload["shard"]]
+        for field_name, value in payload.items():
+            setattr(snapshot, field_name, value)
+
+    def _resolve(self, future: Future, result=None, error=None) -> None:
+        """Resolve one future (tolerating caller-side cancellation)."""
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:  # pragma: no cover - caller cancelled the future
+            pass
+        finally:
+            self._slots.release()

@@ -1,0 +1,97 @@
+"""Serving configuration: the broker/shard knobs, validated once.
+
+:class:`ServeConfig` plays the same role for :mod:`repro.serve` that
+:class:`repro.solver.SolverConfig` plays for one solver session: a frozen
+dataclass holding every knob of the serving layer — shard count, worker
+mode, micro-batch shape, backpressure limit — validated at construction so
+a broker can never be built around a nonsensical configuration.
+
+The *evaluation* settings (method, sample size, kernel backend, ...) are
+not duplicated here: a :class:`~repro.serve.broker.QueryBroker` takes a
+``SolverConfig`` alongside its ``ServeConfig``, and every shard builds its
+warm solver from that same config — which is what makes served results
+bit-identical to direct :class:`repro.solver.Model` calls.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig", "WORKER_MODES"]
+
+#: accepted ``worker_mode`` values; ``"auto"`` resolves at pool start
+WORKER_MODES = ("auto", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Immutable bundle of query-serving settings.
+
+    Attributes
+    ----------
+    n_shards : int
+        Number of warm solver shards.  Each covariance is routed to exactly
+        one shard (consistent fingerprint hashing), so its factorization is
+        paid once per shard, not once per request.
+    worker_mode : str
+        ``"thread"`` runs each shard as a daemon thread inside the serving
+        process (lowest latency; NumPy/BLAS release the GIL in the heavy
+        kernels), ``"process"`` runs each shard as a ``multiprocessing``
+        worker (true core isolation, one warm solver per process),
+        ``"auto"`` picks ``"process"`` on multi-core machines and
+        ``"thread"`` otherwise.
+    max_batch : int
+        Largest micro-batch the broker dispatches: requests sharing one
+        batch key (Sigma fingerprint + sampling settings + seed) are
+        grouped into a single ``probability_batch`` call of at most this
+        many boxes.
+    batch_window : float
+        How long (seconds) an incomplete micro-batch may wait for
+        companions before it is dispatched anyway.  ``0`` disables
+        coalescing delay: every request dispatches as soon as the broker
+        thread sees it (batching then only happens under queueing).
+    max_pending : int
+        Backpressure limit: the maximum number of submitted-but-unfinished
+        requests.  At the limit, :meth:`~repro.serve.broker.QueryBroker.submit`
+        blocks (or raises :class:`~repro.serve.broker.ServeOverloadedError`
+        with ``timeout=0``).
+    n_workers : int
+        Runtime worker threads of each shard's solver.
+    policy : str
+        Scheduling policy of each shard's runtime.
+    cache_entries : int
+        Factor-cache capacity of each shard's solver; also caps the number
+        of warm :class:`~repro.solver.Model` objects a shard keeps.
+    """
+
+    n_shards: int = 2
+    worker_mode: str = "auto"
+    max_batch: int = 32
+    batch_window: float = 0.002
+    max_pending: int = 1024
+    n_workers: int = 1
+    policy: str = "prio"
+    cache_entries: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("n_shards", "max_batch", "max_pending", "n_workers", "cache_entries"):
+            value = getattr(self, name)
+            if int(value) != value or int(value) < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+            object.__setattr__(self, name, int(value))
+        mode = str(self.worker_mode).lower()
+        if mode not in WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {WORKER_MODES}, got {self.worker_mode!r}"
+            )
+        object.__setattr__(self, "worker_mode", mode)
+        if not (float(self.batch_window) >= 0.0):
+            raise ValueError("batch_window must be >= 0")
+        object.__setattr__(self, "batch_window", float(self.batch_window))
+
+    def resolved_worker_mode(self) -> str:
+        """The concrete worker mode ``"auto"`` resolves to on this machine."""
+        if self.worker_mode != "auto":
+            return self.worker_mode
+        return "process" if (os.cpu_count() or 1) > 1 else "thread"

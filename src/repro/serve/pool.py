@@ -1,0 +1,260 @@
+"""Sharded warm-solver pool: the execution layer of :mod:`repro.serve`.
+
+Each **shard** owns one long-lived :class:`repro.solver.MVNSolver` (its own
+runtime, factor cache and pooled sweep workspaces) plus a small LRU of warm
+:class:`repro.solver.Model` objects keyed by covariance fingerprint.  The
+broker routes every covariance to exactly one shard (consistent hashing of
+the fingerprint), so each distinct Sigma is factorized once *per shard* —
+never once per request — and all later queries against it run against the
+warm model.
+
+Shards run either as daemon **threads** (default on single-core machines;
+NumPy/BLAS release the GIL inside the heavy kernels) or as
+``multiprocessing`` **processes** (true core isolation).  Both modes speak
+the same queue protocol, executed by the same top-level loop
+(:func:`shard_serve_loop`), so results are bit-identical across modes — the
+worker runs exactly the :meth:`repro.solver.Model.probability_batch` code
+path a direct caller would.
+
+Protocol (one request/response queue pair per shard):
+
+* ``("batch", batch_id, fingerprint, sigma_or_None, boxes, means,
+  n_samples, qmc, seed)`` — evaluate a micro-batch; ``sigma`` is shipped
+  only the first time the broker routes that fingerprint to the shard.
+* ``("stop",)`` — close the solver and exit.
+
+Responses:
+
+* ``("ok", batch_id, results, stats_dict)`` — one
+  :class:`repro.mvn.result.MVNResult` per box, in box order, plus the
+  shard's counters (see :class:`repro.serve.stats.ShardSnapshot`).
+* ``("error", batch_id, message)`` — the whole batch failed.
+* ``("stopped", stats_dict)`` — acknowledgement of ``("stop",)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ModelRoster", "ShardPool", "shard_for_fingerprint", "shard_serve_loop"]
+
+
+class ModelRoster:
+    """The warm-model LRU rule of a shard, as one shared piece of code.
+
+    The sigma-shipping protocol depends on the broker predicting exactly
+    which fingerprints a shard still holds: the worker keeps its warm
+    :class:`repro.solver.Model` objects in one of these, and the broker
+    keeps a mirror (storing ``True``) that it updates in dispatch order.
+    Both sides run the *same* get/insert/evict rule below, so the mirror
+    cannot drift by construction.
+
+    >>> roster = ModelRoster(capacity=2)
+    >>> roster.get("a") is None
+    True
+    >>> roster.insert("a", 1); roster.insert("b", 2); roster.insert("c", 3)
+    >>> len(roster), roster.get("a"), roster.get("c")
+    (2, None, 3)
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str):
+        """The entry for ``fingerprint`` (refreshed as most-recent), or None."""
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+        return entry
+
+    def insert(self, fingerprint: str, value) -> None:
+        """Add a fingerprint, evicting least-recently-used beyond capacity."""
+        self._entries[fingerprint] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+def shard_for_fingerprint(fingerprint: str, n_shards: int) -> int:
+    """Deterministic fingerprint -> shard routing (consistent across runs).
+
+    The fingerprint is already a cryptographic content hash
+    (:func:`repro.batch.cache.sigma_fingerprint`), so its leading bits are
+    uniformly distributed and a modulo is an unbiased router.
+
+    >>> shard_for_fingerprint("00ff" * 16, 1)
+    0
+    >>> 0 <= shard_for_fingerprint("a3" * 32, 4) < 4
+    True
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return int(str(fingerprint)[:16], 16) % n_shards
+
+
+def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
+                     request_q, response_q) -> None:
+    """The shard worker: one warm solver, serving batches until ``("stop",)``.
+
+    Top-level (not a closure/method) so ``multiprocessing`` can spawn it;
+    thread mode runs the identical function in-process.
+    """
+    # imported here so a spawned process pays its import cost in the worker
+    from repro.solver import MVNSolver
+
+    solver = MVNSolver(solver_config, n_workers=n_workers, policy=policy,
+                       cache_entries=cache_entries)
+    models = ModelRoster(cache_entries)
+    batches = 0
+    requests = 0
+
+    def stats() -> dict:
+        cache = solver.cache
+        return {
+            "shard": shard_id,
+            "batches": batches,
+            "requests": requests,
+            "models": len(models),
+            "factorize_count": cache.factorize_count if cache else 0,
+            "cache_hits": cache.hits if cache else 0,
+            "cache_misses": cache.misses if cache else 0,
+        }
+
+    try:
+        while True:
+            message = request_q.get()
+            if message[0] == "stop":
+                response_q.put(("stopped", stats()))
+                return
+            _, batch_id, fingerprint, sigma, boxes, means, n_samples, qmc, seed = message
+            try:
+                model = models.get(fingerprint)
+                if model is None:
+                    if sigma is None:
+                        raise RuntimeError(
+                            f"shard {shard_id} received fingerprint {fingerprint[:12]}... "
+                            "without its covariance (routing bug)"
+                        )
+                    model = solver.model(np.asarray(sigma, dtype=np.float64))
+                    models.insert(fingerprint, model)
+                results = model.probability_batch(
+                    boxes, means=means, n_samples=n_samples, qmc=qmc, rng=seed
+                )
+                batches += 1
+                requests += len(boxes)
+                response_q.put(("ok", batch_id, results, stats()))
+            except Exception as exc:  # noqa: BLE001 - forwarded to the caller's Future
+                response_q.put(("error", batch_id, f"{type(exc).__name__}: {exc}"))
+    finally:
+        solver.close()
+
+
+class _Shard:
+    """One shard's worker plus its request/response queues."""
+
+    def __init__(self, shard_id: int, mode: str, args: tuple) -> None:
+        self.shard_id = shard_id
+        self.mode = mode
+        if mode == "process":
+            # never plain fork: brokers live in multithreaded processes
+            # (dispatcher/collector threads, callers' request handlers), and
+            # forking with live threads can deadlock the child on inherited
+            # locks.  forkserver forks from a clean single-threaded server;
+            # platforms without it (e.g. Windows/macOS defaults) spawn.
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "forkserver" if "forkserver" in methods else "spawn"
+            )
+            self.request_q = ctx.Queue()
+            self.response_q = ctx.Queue()
+            self.worker = ctx.Process(
+                target=shard_serve_loop,
+                args=(shard_id, *args, self.request_q, self.response_q),
+                daemon=True,
+                name=f"repro-serve-shard-{shard_id}",
+            )
+        elif mode == "thread":
+            self.request_q = queue.Queue()
+            self.response_q = queue.Queue()
+            self.worker = threading.Thread(
+                target=shard_serve_loop,
+                args=(shard_id, *args, self.request_q, self.response_q),
+                daemon=True,
+                name=f"repro-serve-shard-{shard_id}",
+            )
+        else:  # pragma: no cover - ServeConfig already validated the mode
+            raise ValueError(f"unknown worker mode {mode!r}")
+
+    def start(self) -> None:
+        self.worker.start()
+
+    def join(self, timeout: float | None) -> None:
+        self.worker.join(timeout)
+        if self.mode == "process":
+            if self.worker.is_alive():  # pragma: no cover - crash containment
+                self.worker.terminate()
+                self.worker.join(1.0)
+            # release the queue feeder threads/fds promptly
+            self.request_q.close()
+            self.response_q.close()
+
+
+class ShardPool:
+    """The set of shard workers behind one :class:`repro.serve.QueryBroker`.
+
+    Parameters mirror :class:`repro.serve.ServeConfig`; the broker builds
+    the pool from its config and owns its lifecycle (``start`` before the
+    dispatcher runs, ``join`` after every shard acknowledged ``("stop",)``).
+    """
+
+    def __init__(self, n_shards: int, solver_config, *, worker_mode: str,
+                 n_workers: int = 1, policy: str = "prio",
+                 cache_entries: int = 8) -> None:
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process' here, got {worker_mode!r} "
+                "(resolve 'auto' via ServeConfig.resolved_worker_mode first)"
+            )
+        self.worker_mode = worker_mode
+        args = (solver_config, n_workers, policy, cache_entries)
+        self.shards = [_Shard(i, worker_mode, args) for i in range(n_shards)]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def start(self) -> None:
+        """Launch every shard worker (thread or process)."""
+        for shard in self.shards:
+            shard.start()
+
+    def route(self, fingerprint: str) -> int:
+        """The shard index that owns ``fingerprint``."""
+        return shard_for_fingerprint(fingerprint, len(self.shards))
+
+    def send(self, shard_id: int, message: tuple) -> None:
+        """Enqueue one protocol message on a shard's request queue."""
+        self.shards[shard_id].request_q.put(message)
+
+    def response_queue(self, shard_id: int):
+        """The queue a shard's responses arrive on (one consumer expected)."""
+        return self.shards[shard_id].response_q
+
+    def stop(self) -> None:
+        """Ask every shard to shut down (does not wait; see :meth:`join`)."""
+        for shard in self.shards:
+            shard.request_q.put(("stop",))
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for every worker to exit (stragglers are terminated)."""
+        for shard in self.shards:
+            shard.join(timeout)

@@ -1,0 +1,159 @@
+"""Serving statistics: queue depth, batch fill, per-shard cache hit rates.
+
+The broker keeps one :class:`ServeStats` ledger (guarded by its own lock)
+and every shard ships a small stats payload back with each batch response,
+so :meth:`repro.serve.QueryBroker.stats` is always a consistent snapshot —
+no cross-process polling.  The per-request view of the same numbers lands
+in ``MVNResult.details["serve"]`` (shard id, batch size and fill, queue
+time), following the same details/timings convention as the kernel-phase
+attribution of :mod:`repro.core.pmvn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServeStats", "ShardSnapshot"]
+
+
+@dataclass
+class ShardSnapshot:
+    """Last reported state of one shard's warm solver.
+
+    Attributes
+    ----------
+    shard : int
+        Shard index (the target of the consistent Sigma routing).
+    batches, requests : int
+        Micro-batches / individual requests executed by this shard.
+    models : int
+        Warm :class:`repro.solver.Model` objects currently held.
+    factorize_count, cache_hits, cache_misses : int
+        The shard solver's :class:`repro.batch.FactorCache` counters; a
+        healthy shard factorizes once per distinct covariance and serves
+        the rest from the warm model, so ``factorize_count`` should track
+        the number of distinct Sigmas routed to the shard.
+    """
+
+    shard: int
+    batches: int = 0
+    requests: int = 0
+    models: int = 0
+    factorize_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests that reused a warm (already factorized) model."""
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - min(self.factorize_count, self.requests) / self.requests
+
+
+@dataclass
+class ServeStats:
+    """Snapshot of a broker's serving counters.
+
+    Attributes
+    ----------
+    submitted, completed, failed, rejected : int
+        Request outcomes; ``rejected`` counts submissions refused by
+        backpressure (:class:`~repro.serve.broker.ServeOverloadedError`).
+    batches : int
+        Micro-batches dispatched to shards.
+    queue_depth : int
+        Requests currently submitted but not finished (the value the
+        ``max_pending`` backpressure limit applies to).
+    max_queue_depth : int
+        High-water mark of ``queue_depth``.
+    max_batch : int
+        The configured micro-batch capacity (denominator of the fill ratio).
+    shards : list of ShardSnapshot
+        Per-shard execution counters, in shard order.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    max_batch: int = 0
+    shards: list[ShardSnapshot] = field(default_factory=list)
+
+    @property
+    def batch_fill_ratio(self) -> float:
+        """Mean dispatched batch size as a fraction of ``max_batch``."""
+        finished = self.completed + self.failed
+        if self.batches == 0 or self.max_batch == 0:
+            return 0.0
+        return finished / self.batches / self.max_batch
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean number of requests per dispatched micro-batch."""
+        finished = self.completed + self.failed
+        return finished / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (what the benchmark JSON embeds)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_fill_ratio": self.batch_fill_ratio,
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "batches": s.batches,
+                    "requests": s.requests,
+                    "models": s.models,
+                    "factorize_count": s.factorize_count,
+                    "cache_hits": s.cache_hits,
+                    "cache_misses": s.cache_misses,
+                    "hit_rate": s.hit_rate,
+                }
+                for s in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, max_batch: int = 0) -> "ServeStats":
+        """Rebuild a snapshot from :meth:`as_dict` output (derived fields
+        like the ratios are recomputed, not read)."""
+        counters = {
+            name: payload[name]
+            for name in ("submitted", "completed", "failed", "rejected",
+                         "batches", "queue_depth", "max_queue_depth")
+        }
+        shard_fields = ("shard", "batches", "requests", "models",
+                        "factorize_count", "cache_hits", "cache_misses")
+        shards = [
+            ShardSnapshot(**{name: entry[name] for name in shard_fields})
+            for entry in payload.get("shards", [])
+        ]
+        return cls(max_batch=max_batch, shards=shards, **counters)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (what ``repro serve-bench`` prints)."""
+        lines = [
+            f"submitted={self.submitted} completed={self.completed} "
+            f"failed={self.failed} rejected={self.rejected}",
+            f"batches={self.batches} mean_batch_size={self.mean_batch_size:.2f} "
+            f"batch_fill_ratio={self.batch_fill_ratio:.2f} "
+            f"max_queue_depth={self.max_queue_depth}",
+        ]
+        for s in self.shards:
+            lines.append(
+                f"shard {s.shard}: requests={s.requests} batches={s.batches} "
+                f"models={s.models} factorized={s.factorize_count} "
+                f"hit_rate={s.hit_rate:.2f}"
+            )
+        return "\n".join(lines)

@@ -115,6 +115,7 @@ class MVNSolver:
     # -- lifecycle -----------------------------------------------------------------
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed solver rejects queries)."""
         return self._closed
 
     def close(self) -> None:
@@ -193,22 +194,27 @@ class Model:
 
     @property
     def solver(self) -> MVNSolver:
+        """The owning session (runtime, cache and config live there)."""
         return self._solver
 
     @property
     def config(self) -> SolverConfig:
+        """The owning solver's evaluation settings."""
         return self._solver.config
 
     @property
     def sigma(self) -> np.ndarray:
+        """The bound covariance matrix."""
         return self._sigma
 
     @property
     def mean(self):
+        """The bound mean (absorbed into the limits at query time)."""
         return self._mean
 
     @property
     def n(self) -> int:
+        """Dimensionality of the model."""
         return self._sigma.shape[0]
 
     @property

@@ -1,0 +1,136 @@
+"""Generated API reference: one source of truth for ``docs/api.md``.
+
+Same pattern as the ``method=`` registry (:mod:`repro.core.methods`) and
+its generated block in ``docs/methods.md``: the public surface documented
+in ``docs/api.md`` is *generated* from the packages' ``__all__`` lists and
+docstrings by :func:`api_markdown`, and ``tests/test_docs_examples.py``
+regenerates the block and fails on drift.  Adding a public name (or
+changing a signature) therefore updates the reference by construction —
+the docs cannot silently lag the code.
+
+Regenerate with::
+
+    python -c "from repro.utils.apidoc import api_markdown; print(api_markdown())"
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import re
+
+__all__ = ["api_markdown", "API_SECTIONS"]
+
+#: the documented public surface: (module name, section blurb)
+API_SECTIONS: tuple[tuple[str, str], ...] = (
+    (
+        "repro.solver",
+        "The session API — the canonical entry point for repeated queries "
+        "against one covariance.",
+    ),
+    (
+        "repro.batch",
+        "Batched many-box evaluation against one covariance, and the "
+        "content-addressed factor cache.",
+    ),
+    (
+        "repro.serve",
+        "Concurrent query serving: micro-batching broker over sharded warm "
+        "solvers.",
+    ),
+    (
+        "repro.core.api",
+        "The one-shot functional wrappers (transient solver per call).",
+    ),
+)
+
+
+def _first_doc_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "(undocumented)"
+    return doc.strip().splitlines()[0].strip()
+
+
+def _signature(obj) -> str:
+    try:
+        text = str(inspect.signature(obj))
+    except (TypeError, ValueError):  # pragma: no cover - builtins without sigs
+        return "(...)"
+    # default values whose repr embeds an object address (e.g. module-level
+    # sentinels) would make the generated block nondeterministic
+    return re.sub(r" at 0x[0-9a-fA-F]+", "", text)
+
+
+def _class_members(cls) -> list[tuple[str, str, str]]:
+    """Public methods/properties defined *on this class*, in source order."""
+    members = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            members.append((name, f"{name} (property)", _first_doc_line(member)))
+        elif isinstance(member, staticmethod):
+            members.append((name, f"{name}{_signature(member.__func__)}",
+                            _first_doc_line(member.__func__)))
+        elif inspect.isfunction(member):
+            members.append((name, f"{name}{_signature(member)}", _first_doc_line(member)))
+    return members
+
+
+def _render_class(name: str, cls) -> list[str]:
+    out = [f"### `{name}`", ""]
+    out.append(f"```python\n{name}{_signature(cls)}\n```")
+    out.append("")
+    out.append(f"{_first_doc_line(cls)}")
+    members = _class_members(cls)
+    if members:
+        out.append("")
+        out.append("| member | summary |")
+        out.append("| --- | --- |")
+        for _, rendered, summary in members:
+            summary = summary.replace("|", "\\|")
+            out.append(f"| `{rendered}` | {summary} |")
+    out.append("")
+    return out
+
+
+def _render_function(name: str, func) -> list[str]:
+    return [
+        f"### `{name}`",
+        "",
+        f"```python\n{name}{_signature(func)}\n```",
+        "",
+        f"{_first_doc_line(func)}",
+        "",
+    ]
+
+
+def api_markdown() -> str:
+    """Markdown reference of the public API surface (for ``docs/api.md``)."""
+    out: list[str] = []
+    for module_name, blurb in API_SECTIONS:
+        module = importlib.import_module(module_name)
+        out.append(f"## `{module_name}`")
+        out.append("")
+        out.append(blurb)
+        out.append("")
+        for name in module.__all__:
+            obj = getattr(module, name)
+            defined_in = getattr(obj, "__module__", module_name) or module_name
+            if not (defined_in == module_name or defined_in.startswith(module_name + ".")):
+                # a convenience re-export: point at the owning section
+                # instead of documenting the object twice
+                owner = defined_in.rsplit(".", 1)[0] if defined_in.count(".") > 1 else defined_in
+                out.append(f"### `{name}`")
+                out.append("")
+                out.append(f"Re-export of `{owner}.{name}` — see the `{owner}` section.")
+                out.append("")
+                continue
+            if inspect.isclass(obj):
+                out.extend(_render_class(name, obj))
+            elif callable(obj):
+                out.extend(_render_function(name, obj))
+            else:  # pragma: no cover - no plain-data exports today
+                out.append(f"### `{name}`\n\n{_first_doc_line(obj)}\n")
+    return "\n".join(out).rstrip() + "\n"

@@ -14,6 +14,11 @@ def pytest_configure(config):
         "perf_smoke: quick-mode checks of the performance benchmark plumbing "
         "(select with `pytest -m perf_smoke`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "docs: executable documentation — doc-snippet execution and doc-drift "
+        "guards (select with `pytest -m docs`); part of the default tier-1 run",
+    )
 
 
 @pytest.fixture

@@ -247,6 +247,42 @@ class TestFactorCache:
         assert cache.hits == 2
         assert hashed == []
 
+    def test_fingerprint_normalizes_dtype_and_layout(self, batch_sigma):
+        """Equal matrices must fingerprint identically regardless of dtype
+        width or memory layout — a float32 matrix and the float64 matrix
+        holding the same values must not miss the cache (or land on
+        different serve shards)."""
+        sigma32 = batch_sigma.astype(np.float32)
+        sigma64 = sigma32.astype(np.float64)  # exact upcast: equal values
+        reference = sigma_fingerprint(sigma64)
+        assert sigma_fingerprint(sigma32) == reference
+        # Fortran-ordered (non-C-contiguous) copy of the same values
+        assert sigma_fingerprint(np.asfortranarray(sigma64)) == reference
+        # strided view: every element of a zero-padded embedding
+        embedded = np.zeros((2 * sigma64.shape[0], 2 * sigma64.shape[1]))
+        embedded[::2, ::2] = sigma64
+        assert sigma_fingerprint(embedded[::2, ::2]) == reference
+        # nested lists normalize the same way
+        assert sigma_fingerprint(sigma64.tolist()) == reference
+        # genuinely different values must still miss
+        assert sigma_fingerprint(batch_sigma) != reference
+
+    def test_cache_hits_across_dtype_and_layout(self, batch_sigma):
+        sigma32 = batch_sigma.astype(np.float32)
+        sigma64 = sigma32.astype(np.float64)
+        cache = FactorCache()
+        first = cache.get_or_factorize(sigma64, method="dense")
+        again = cache.get_or_factorize(sigma32, method="dense")
+        fortran = cache.get_or_factorize(np.asfortranarray(sigma64), method="dense")
+        assert first is again is fortran
+        assert cache.factorize_count == 1 and cache.hits == 2
+
+    def test_fingerprint_memo_size_validation(self):
+        from repro.batch import FingerprintMemo
+
+        with pytest.raises(ValueError):
+            FingerprintMemo(size=0)
+
     def test_max_entries_validation(self):
         with pytest.raises(ValueError):
             FactorCache(max_entries=0)

@@ -1,14 +1,20 @@
 """Executable documentation: doctests, README/docs snippets, drift guards.
 
-Three layers keep the documentation honest:
+Four layers keep the documentation honest:
 
 * the doctest examples embedded in the package docstrings run as tests,
-* every fenced ``python`` block in ``README.md``, ``docs/batch.md`` and
-  ``docs/solver.md`` is executed in a fresh namespace (the snippets contain
+* every fenced ``python`` block in ``README.md`` and the narrative pages
+  under ``docs/`` is executed in a fresh namespace (the snippets contain
   their own asserts),
 * the ``method=`` registry (:mod:`repro.core.methods`) is checked against
   the ``mvn_probability`` docstring, the ``ValueError`` text, and the
-  generated block of ``docs/methods.md`` — one shared tuple, no drift.
+  generated block of ``docs/methods.md`` — one shared tuple, no drift,
+* the generated API reference (``docs/api.md``) is regenerated from
+  :func:`repro.utils.apidoc.api_markdown` and compared, so the public
+  surface cannot drift from its documentation.
+
+All of these carry the ``docs`` marker: ``pytest -m docs`` runs exactly
+the executable-documentation suite (it is part of the default tier-1 run).
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ import repro
 import repro.batch
 import repro.batch.batched
 import repro.batch.cache
+import repro.serve
+import repro.serve.broker
+import repro.serve.pool
 import repro.solver
 import repro.solver.solver
 from repro.core.methods import (
@@ -32,6 +41,9 @@ from repro.core.methods import (
     methods_markdown,
     unknown_method_message,
 )
+from repro.utils.apidoc import api_markdown
+
+pytestmark = pytest.mark.docs
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -46,6 +58,7 @@ class TestDoctests:
     @pytest.mark.parametrize(
         "module",
         [repro, repro.batch, repro.batch.batched, repro.batch.cache,
+         repro.serve, repro.serve.broker, repro.serve.pool,
          repro.solver, repro.solver.solver],
         ids=lambda m: m.__name__,
     )
@@ -56,7 +69,11 @@ class TestDoctests:
 
 
 class TestDocumentSnippets:
-    @pytest.mark.parametrize("name", ["README.md", "docs/batch.md", "docs/solver.md", "docs/performance.md"])
+    @pytest.mark.parametrize(
+        "name",
+        ["README.md", "docs/batch.md", "docs/solver.md", "docs/performance.md",
+         "docs/serving.md"],
+    )
     def test_python_blocks_execute(self, name):
         for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):
             namespace: dict = {}
@@ -70,8 +87,26 @@ class TestDocumentSnippets:
         for target in re.findall(r"\]\((docs/[^)#]+)", readme):
             assert (REPO_ROOT / target).is_file(), f"README links to missing {target}"
         assert "## Glossary" in readme
-        for term in ("SOV", "PMVN", "TLR", "CRD", "Chain block"):
+        for term in ("SOV", "PMVN", "TLR", "CRD", "Chain block", "Micro-batching",
+                     "Shard", "Factor fingerprint", "Kernel backend",
+                     "Workspace pooling"):
             assert term in readme, f"glossary term {term} missing from README"
+
+    def test_every_docs_page_reachable_from_readme(self):
+        """Documentation must not orphan: each docs/*.md is linked from README."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        linked = set(re.findall(r"\]\(docs/([^)#]+)\)", readme))
+        for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+            assert page.name in linked, f"docs/{page.name} is not linked from README"
+
+    def test_docs_cross_links_resolve(self):
+        """Relative links between docs pages must point at real files."""
+        for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+            text = page.read_text()
+            for target in re.findall(r"\]\(([A-Za-z0-9_.-]+\.md)[#)]", text):
+                assert (REPO_ROOT / "docs" / target).is_file(), (
+                    f"docs/{page.name} links to missing docs/{target}"
+                )
 
 
 class TestMethodRegistrySync:
@@ -112,6 +147,30 @@ class TestMethodRegistrySync:
         text = (REPO_ROOT / "docs" / "methods.md").read_text()
         for script in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
             assert script.name in text, f"{script.name} missing from docs/methods.md"
+
+    def test_api_md_matches_generator(self):
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        marker = re.search(
+            r"<!-- BEGIN GENERATED API REFERENCE.*?-->\n(.*?)<!-- END GENERATED API REFERENCE -->",
+            text,
+            flags=re.DOTALL,
+        )
+        assert marker, "docs/api.md lost its GENERATED markers"
+        assert marker.group(1).strip() == api_markdown().strip(), (
+            "docs/api.md is out of date; regenerate with "
+            "python -c 'from repro.utils.apidoc import api_markdown; print(api_markdown())'"
+        )
+
+    def test_api_md_covers_public_surface(self):
+        """Every __all__ name of the documented packages appears in docs/api.md."""
+        import repro.core.api
+
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for module in (repro.solver, repro.batch, repro.serve, repro.core.api):
+            for name in module.__all__:
+                assert f"`{name}`" in text, (
+                    f"{module.__name__}.{name} missing from docs/api.md"
+                )
 
     def test_cli_choices_match_registry(self):
         from repro.cli import build_parser

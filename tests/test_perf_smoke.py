@@ -1,9 +1,10 @@
-"""Quick-mode smoke test of the kernel hot-path benchmark.
+"""Quick-mode smoke tests of the measured performance benchmarks.
 
-Runs the same harness as ``benchmarks/bench_kernel_hotpath.py`` at tiny
-sizes: no timing gate (timings at this scale are noise), but the plumbing —
-backend sweep, phase attribution, parity verdict, JSON emission — must work,
-so regressions in the kernel/benchmark wiring fail fast in tier-1.
+Runs the same harnesses as ``benchmarks/bench_kernel_hotpath.py`` and
+``benchmarks/bench_serving_throughput.py`` at tiny sizes: no timing gates
+(timings at this scale are noise), but the plumbing — backend sweep, phase
+attribution, broker statistics, parity verdicts, JSON emission — must work,
+so regressions in the benchmark wiring fail fast in tier-1.
 
 Select just these with ``pytest -m perf_smoke``.
 """
@@ -15,6 +16,7 @@ import json
 import pytest
 
 from repro.perf.hotpath import run_hotpath_benchmark
+from repro.perf.serving import run_serving_benchmark
 
 pytestmark = pytest.mark.perf_smoke
 
@@ -65,3 +67,33 @@ def test_hotpath_two_sided_smoke(tmp_path):
     )
     assert record["workload"]["one_sided"] is False
     assert record["parity"]["numpy_bit_identical"]
+
+
+def test_serving_benchmark_smoke(tmp_path):
+    """Tiny serving run: plumbing, stats and parity — no speed gate."""
+    json_path = tmp_path / "BENCH_serving_throughput.json"
+    record = run_serving_benchmark(
+        n=25, n_queries=8, n_sigmas=2, n_samples=60, method="dense",
+        n_shards=2, max_batch=4, repeats=1, json_path=json_path,
+    )
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "serving_throughput"
+    assert on_disk["workload"]["n_queries"] == 8
+
+    # the estimator must agree bit for bit even in quick mode — only the
+    # *speed* gate needs the full-size run
+    assert record["parity"]["served_bit_identical"]
+    stats = record["serving"]["stats"]
+    assert stats["completed"] == 8
+    assert stats["failed"] == 0
+    # one factorization per distinct covariance, on its owning shard
+    assert sum(s["factorize_count"] for s in stats["shards"]) == 2
+    assert record["paths"]["served"]["elapsed"] > 0.0
+    assert record["gate"]["threshold"] == 3.0
+
+
+def test_serving_benchmark_rejects_unmixed_workload():
+    with pytest.raises(ValueError, match="mixed workload"):
+        run_serving_benchmark(n=16, n_queries=8, n_sigmas=1, n_samples=40)

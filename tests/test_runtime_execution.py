@@ -152,6 +152,18 @@ class TestRuntimeSerial:
         rt.wait_all()
         assert [t.result for t in tasks] == [2, 4, 6]
 
+    def test_executed_history_is_bounded(self, monkeypatch):
+        """Long-lived runtimes (solver sessions, serve shards) must not
+        retain every Task ever run — only a trailing window, plus a total
+        counter."""
+        monkeypatch.setattr(Runtime, "EXECUTED_HISTORY", 4)
+        rt = Runtime()
+        for _ in range(3):
+            rt.map(lambda x: x + 1, [1, 2, 3])
+            rt.wait_all()
+        assert rt.tasks_executed == 9
+        assert len(rt.executed_tasks) == 4
+
     def test_context_manager_waits(self):
         results = []
         with Runtime() as rt:
