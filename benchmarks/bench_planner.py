@@ -1,0 +1,63 @@
+"""Query planner gate — ``method="auto"`` vs the best hand-picked method.
+
+The acceptance gate of the declarative-query PR: across a three-scenario
+sweep spanning the planner's decision space (small dense field / banded
+medium-size covariance where the dense tile method wins / large low-rank
+field where TLR wins), the planner-chosen method must never cost more than
+**1.2x** the best hand-picked method's wall time, while remaining
+**bit-identical** to explicitly requesting the method the planner chose.
+
+Measurement protocol (see :mod:`repro.perf.planner`): cold functional calls,
+the auto (candidate) path runs first in every repeat, minima across repeats.
+
+Emits ``BENCH_planner.json`` at the repository root and a human-readable
+table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import save_table
+from repro.perf.planner import PLANNER_OVERHEAD_GATE, run_planner_benchmark
+from repro.utils.reporting import Table
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+REPEATS = 3
+SEED = 7
+
+
+def test_planner_auto(benchmark):
+    """auto <= 1.2x the best hand-picked method, bit-identical to its choice."""
+    record = benchmark.pedantic(
+        lambda: run_planner_benchmark(repeats=REPEATS, seed=SEED, json_path=JSON_PATH),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        ["scenario", "n", "N", "chosen", "auto (s)", "dense (s)", "tlr (s)", "ratio vs best"],
+        title="method='auto' vs hand-picked methods (cold calls, minima)",
+    )
+    for name, data in record["scenarios"].items():
+        table.add_row([
+            name, data["n"], data["n_samples"], data["chosen_method"],
+            data["elapsed"]["auto"], data["elapsed"]["dense"],
+            data["elapsed"]["tlr"], data["ratio_vs_best"],
+        ])
+    save_table(table, "planner_auto")
+    print()
+    print(table.render())
+    print(f"wrote {JSON_PATH}")
+
+    for name, data in record["scenarios"].items():
+        assert data["bit_identical_to_chosen"], (
+            f"{name}: auto diverged from explicitly requesting "
+            f"{data['chosen_method']!r}"
+        )
+        assert data["ratio_vs_best"] <= PLANNER_OVERHEAD_GATE, (
+            f"{name}: auto cost {data['ratio_vs_best']:.2f}x the best "
+            f"hand-picked method (gate: {PLANNER_OVERHEAD_GATE}x)"
+        )
+    assert record["gate"]["passed"]
+    assert JSON_PATH.exists()

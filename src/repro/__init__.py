@@ -14,6 +14,9 @@ Abdulah, Cao, Ltaief, Sun, Genton and Keyes.  The package provides:
 * the session-oriented solver front door — config + runtime + factor cache
   bound into long-lived ``MVNSolver`` / ``Model`` objects
   (:mod:`repro.solver`),
+* the declarative query layer — validated ``MVNQuery`` specs, the
+  cost-model planner behind ``method="auto"``, and adaptive accuracy
+  targeting (:mod:`repro.query`),
 * batched many-query evaluation with a factorization cache
   (:mod:`repro.batch`),
 * concurrent query serving — a micro-batching ``QueryBroker`` over sharded
@@ -45,6 +48,18 @@ machinery per call):
 >>> abs(result.probability - 1/3) < 0.02
 True
 
+``method="auto"`` delegates the estimator choice to the query planner and
+``target_error=`` escalates the sample count until the standard error meets
+the target (the decision trail lands in ``details["plan"]``):
+
+>>> result = mvn_probability([-np.inf, -np.inf], [0.0, 0.0], sigma,
+...                          method="auto", n_samples=500, rng=0,
+...                          target_error=2e-3)
+>>> result.details["plan"]["method"]
+'dense'
+>>> result.error <= 2e-3
+True
+
 Many boxes against one covariance, factorized once:
 
 >>> from repro import mvn_probability_batch
@@ -62,16 +77,21 @@ from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, pmvn_integrate
 from repro.core.factor import factorize
 from repro.batch import FactorCache
 from repro.mvn import MVNResult, mvn_mc, mvn_sov, mvn_sov_vectorized
+from repro.query import MVNQuery, QueryPlan, QueryPlanner, plan_query
 from repro.runtime import Runtime
 from repro.serve import QueryBroker, ServeConfig
 from repro.solver import Model, MVNSolver, SolverConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "MVNSolver",
     "Model",
     "SolverConfig",
+    "MVNQuery",
+    "QueryPlan",
+    "QueryPlanner",
+    "plan_query",
     "QueryBroker",
     "ServeConfig",
     "mvn_probability",

@@ -108,6 +108,8 @@ def mvn_probability_batch(
     max_workspace_cols: int | None = None,
     backend: str | None = None,
     timings: TimingRegistry | None = None,
+    target_error: float | None = None,
+    max_samples: int | None = None,
 ) -> list[MVNResult]:
     """Estimate ``P(a_i <= X <= b_i)`` for many boxes against one covariance.
 
@@ -135,8 +137,13 @@ def mvn_probability_batch(
         Batched-sweep tuning; see :class:`repro.core.pmvn.PMVNOptions`.
     backend : str, optional
         QMC kernel backend (see :mod:`repro.core.kernel_backend`).
+    target_error, max_samples : optional
+        Per-box adaptive accuracy targeting: boxes whose standard error
+        misses ``target_error`` are re-swept at escalating sample counts
+        within the ``max_samples`` budget (see ``docs/query.md``).
     n_samples, n_workers, tile_size, accuracy, max_rank, qmc, rng, runtime
-        As in :func:`repro.core.api.mvn_probability`.
+        As in :func:`repro.core.api.mvn_probability` (``method="auto"``
+        delegates the estimator choice to the query planner).
 
     Returns
     -------
@@ -163,7 +170,8 @@ def mvn_probability_batch(
     check_factor_args(config.method, factor, cache)
     with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:
         return solver.model(sigma, factor=factor).probability_batch(
-            boxes, means=means, rng=rng, timings=timings
+            boxes, means=means, rng=rng, timings=timings,
+            target_error=target_error, max_samples=max_samples,
         )
 
 

@@ -10,6 +10,11 @@ Three subcommands cover the library's main workflows without writing Python:
     Evaluate many boxes read from a file against one covariance through the
     batched, factorize-once path (:mod:`repro.batch`).
 
+``repro plan``
+    Print the :class:`repro.query.QueryPlan` a query would execute —
+    chosen estimator (``--auto``), kernel backend, adaptive-accuracy
+    schedule and cost estimates — without factorizing or sweeping.
+
 ``repro crd``
     Run confidence-region detection on a synthetic dataset (or a covariance /
     mean pair loaded from ``.npy``) and optionally save the result.
@@ -65,6 +70,14 @@ def _add_mvn_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default=None,
                         choices=["numpy", "numba", "reference", "auto"],
                         help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    parser.add_argument("--auto", action="store_true",
+                        help="shorthand for --method auto: let the query planner "
+                             "pick the estimator (see docs/query.md)")
+    parser.add_argument("--target-error", type=float, default=None,
+                        help="adaptive accuracy: escalate the sample count until the "
+                             "standard error meets this target (or the budget runs out)")
+    parser.add_argument("--max-samples", type=int, default=None,
+                        help="sample budget of the adaptive loop (default: 64x --samples)")
     parser.add_argument("--verbose", action="store_true",
                         help="print the kernel backend and per-phase timing breakdown")
 
@@ -91,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--save", type=Path, default=None,
                        help="save per-box probabilities/errors to this .npz path")
 
+    plan = sub.add_parser(
+        "plan",
+        help="print the query plan (estimator, backend, cost model) without executing",
+        parents=[runtime_parent],
+    )
+    _add_mvn_problem_args(plan)
+    plan.add_argument("--upper", type=float, default=1.0, help="upper limit applied to every dimension")
+    plan.add_argument("--lower", type=float, default=None, help="lower limit (default -inf)")
+
     crd = sub.add_parser("crd", help="confidence region detection on a synthetic dataset",
                          parents=[runtime_parent])
     crd.add_argument("--correlation", default="medium", help="weak / medium / strong or a range value")
@@ -98,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     crd.add_argument("--threshold-quantile", type=float, default=0.6,
                      help="threshold as a quantile of the latent field")
     crd.add_argument("--confidence", type=float, default=0.95, help="confidence level 1-alpha")
-    crd.add_argument("--method", default="tlr", choices=["dense", "tlr"])
+    crd.add_argument("--method", default="tlr", choices=["dense", "tlr", "auto"])
     crd.add_argument("--accuracy", type=float, default=1e-3)
     crd.add_argument("--samples", type=int, default=2000)
     crd.add_argument("--seed", type=int, default=0)
@@ -135,18 +157,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _solver_from_args(args, tile_size=None):
-    """One MVNSolver per CLI invocation, configured from the parsed args."""
-    from repro import MVNSolver, SolverConfig
+def _method_from_args(args) -> str:
+    """The effective method string (``--auto`` overrides ``--method``)."""
+    return "auto" if getattr(args, "auto", False) else args.method
 
-    config = SolverConfig(
-        method=args.method,
+
+def _config_from_args(args, tile_size=None):
+    """A SolverConfig built from the shared MVN-problem flags."""
+    from repro import SolverConfig
+
+    return SolverConfig(
+        method=_method_from_args(args),
         n_samples=args.samples,
         tile_size=tile_size if tile_size is not None else getattr(args, "tile_size", None),
         accuracy=args.accuracy,
         backend=getattr(args, "backend", None),
     )
-    return MVNSolver(config, n_workers=args.workers, policy=args.policy)
+
+
+def _solver_from_args(args, tile_size=None):
+    """One MVNSolver per CLI invocation, configured from the parsed args."""
+    from repro import MVNSolver
+
+    return MVNSolver(_config_from_args(args, tile_size=tile_size),
+                     n_workers=args.workers, policy=args.policy)
 
 
 def _load_covariance(args) -> np.ndarray:
@@ -161,6 +195,21 @@ def _load_covariance(args) -> np.ndarray:
     geom = Geometry.regular_grid(args.grid, args.grid)
     kernel = ExponentialKernel(1.0, args.kernel_range)
     return build_covariance(kernel, geom.locations, nugget=1e-6)
+
+
+def _print_plan_outcome(plan: dict | None, args) -> None:
+    """Report the executed plan when it carries information (auto / adaptive)."""
+    if plan is None:
+        return
+    adaptive = plan.get("target_error") is not None
+    if not (adaptive or plan.get("auto") or getattr(args, "verbose", False)):
+        return
+    print(f"plan             : method={plan['method']} backend={plan['backend'] or '-'}"
+          + ("  (auto)" if plan.get("auto") else ""))
+    if adaptive:
+        met = "met" if plan.get("target_met") else "NOT met (budget exhausted)"
+        print(f"accuracy target  : {plan['target_error']:g} {met} after "
+              f"{plan['rounds']} round(s), {plan['samples_used']} samples used")
 
 
 def _print_verbose(result_details: dict, timings) -> None:
@@ -184,13 +233,15 @@ def _cmd_mvn(args) -> int:
     timings = TimingRegistry() if args.verbose else None
     with _solver_from_args(args) as solver:
         result = solver.model(sigma).probability(
-            np.full(n, lower), np.full(n, args.upper), rng=args.seed, timings=timings
+            np.full(n, lower), np.full(n, args.upper), rng=args.seed, timings=timings,
+            target_error=args.target_error, max_samples=args.max_samples,
         )
     print(f"dimension        : {result.dimension}")
     print(f"method           : {result.method}")
     print(f"samples          : {result.n_samples}")
     print(f"probability      : {result.probability:.8g}")
     print(f"standard error   : {result.error:.3g}")
+    _print_plan_outcome(result.details.get("plan"), args)
     if args.verbose:
         _print_verbose(result.details, timings)
     return 0
@@ -217,14 +268,27 @@ def _cmd_batch(args) -> int:
     timings = TimingRegistry() if args.verbose else None
     start = time.perf_counter()
     with _solver_from_args(args) as solver:
-        results = solver.model(sigma).probability_batch(boxes, rng=args.seed, timings=timings)
+        results = solver.model(sigma).probability_batch(
+            boxes, rng=args.seed, timings=timings,
+            target_error=args.target_error, max_samples=args.max_samples,
+        )
     elapsed = time.perf_counter() - start
     table = Table(["box", "probability", "std error"],
-                  title=f"{len(boxes)} boxes, dimension {n}, method {args.method}")
+                  title=f"{len(boxes)} boxes, dimension {n}, method {_method_from_args(args)}")
     for idx, result in enumerate(results):
         table.add_row([idx, result.probability, result.error])
     print(table.render())
     print(f"elapsed          : {elapsed:.3f} s ({len(boxes) / elapsed:.2f} boxes/s)")
+    plans = [r.details.get("plan") for r in results if r.details.get("plan")]
+    if plans and (plans[0].get("auto") or args.target_error is not None or args.verbose):
+        plan = plans[0]
+        print(f"plan             : method={plan['method']} backend={plan['backend'] or '-'}"
+              + ("  (auto)" if plan.get("auto") else ""))
+        if args.target_error is not None:
+            met = sum(1 for p in plans if p.get("target_met"))
+            rounds = max(p["rounds"] for p in plans)
+            print(f"accuracy target  : {args.target_error:g} met for {met}/{len(plans)} "
+                  f"boxes (max {rounds} round(s))")
     if args.verbose:
         _print_verbose(results[0].details if results else {}, timings)
     if args.save is not None:
@@ -234,6 +298,24 @@ def _cmd_batch(args) -> int:
             errors=np.array([r.error for r in results]),
         )
         print(f"saved result to {args.save}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    """Print the plan a query would execute — no factorization, no sweep."""
+    from repro.query import MVNQuery, plan_query
+
+    sigma = _load_covariance(args)
+    n = sigma.shape[0]
+    lower = -np.inf if args.lower is None else args.lower
+    query = MVNQuery(
+        np.full(n, lower), np.full(n, args.upper),
+        n_samples=args.samples, rng=args.seed,
+        target_error=args.target_error, max_samples=args.max_samples,
+    )
+    plan = plan_query(sigma, _config_from_args(args), query)
+    print(f"dimension        : {n}")
+    print(plan.describe())
     return 0
 
 
@@ -319,6 +401,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_mvn(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "crd":
         return _cmd_crd(args)
     if args.command == "serve-bench":

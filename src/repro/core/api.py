@@ -46,6 +46,8 @@ def mvn_probability(
     factor=None,
     cache=None,
     backend: str | None = None,
+    target_error: float | None = None,
+    max_samples: int | None = None,
 ) -> MVNResult:
     """Estimate the MVN probability ``P(a <= X <= b)`` for ``X ~ N(mean, sigma)``.
 
@@ -79,6 +81,21 @@ __METHOD_LIST__
         QMC kernel backend for the factor-based methods (``"numpy"``,
         ``"numba"``, ``"reference"``, ``"auto"``); see
         :mod:`repro.core.kernel_backend`.
+    target_error : float, optional
+        Standard-error target for adaptive accuracy: the sweep re-runs with
+        escalating sample counts (reusing the factorization) until
+        ``result.error <= target_error`` or ``max_samples`` is exhausted;
+        the outcome is recorded under ``result.details["plan"]``.  See
+        ``docs/query.md``.
+    max_samples : int, optional
+        Sample budget of the adaptive loop (default: 64x ``n_samples``).
+
+    Notes
+    -----
+    Every call is normalized into a :class:`repro.query.MVNQuery` and
+    planned by :class:`repro.query.QueryPlanner` — ``method="auto"`` lets
+    the planner's cost model choose between ``"dense"`` and ``"tlr"``; the
+    chosen plan is recorded under ``result.details["plan"]``.
     """
     config = SolverConfig(
         method=method, n_samples=n_samples, tile_size=tile_size,
@@ -86,7 +103,9 @@ __METHOD_LIST__
     )
     check_factor_args(config.method, factor, cache)
     with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:
-        return solver.model(sigma, mean=mean, factor=factor).probability(a, b, rng=rng)
+        return solver.model(sigma, mean=mean, factor=factor).probability(
+            a, b, rng=rng, target_error=target_error, max_samples=max_samples
+        )
 
 
 # inject the generated method documentation (single source: repro.core.methods);

@@ -16,6 +16,7 @@ __all__ = [
     "MethodSpec",
     "METHOD_SPECS",
     "ACCEPTED_METHODS",
+    "AUTO_METHOD",
     "PARALLEL_METHODS",
     "canonical_method",
     "check_factor_args",
@@ -111,7 +112,28 @@ METHOD_SPECS: tuple[MethodSpec, ...] = (
             "sanity check of last resort."
         ),
     ),
+    MethodSpec(
+        name="auto",
+        aliases=("planned",),
+        kind="planned",
+        summary=(
+            "planner-chosen estimator: a cost model over the dimension, box "
+            "one-sidedness and covariance structure picks ``\"dense\"`` or "
+            "``\"tlr\"`` per query (see ``docs/query.md``)"
+        ),
+        tradeoff=(
+            "Delegates the `dense`-vs-`tlr` choice to `repro.query.QueryPlanner`: "
+            "dense below the planner's size threshold, TLR above it when a "
+            "structure probe finds compressible off-diagonal tiles.  The chosen "
+            "plan is recorded under `result.details[\"plan\"]`; results are "
+            "bit-identical to explicitly requesting the chosen method."
+        ),
+    ),
 )
+
+#: the planner pseudo-method: resolved to a concrete estimator per query by
+#: :class:`repro.query.QueryPlanner` (never executed by name)
+AUTO_METHOD = "auto"
 
 #: canonical method names, in documentation order
 ACCEPTED_METHODS: tuple[str, ...] = tuple(spec.name for spec in METHOD_SPECS)
@@ -139,8 +161,11 @@ def check_factor_args(method: str, factor=None, cache=None) -> None:
 
     Shared by the single-call and batched APIs so they accept the same
     inputs and raise the same message.  ``method`` must already be
-    canonical.
+    canonical.  ``"auto"`` always resolves to a factor-based method, so it
+    accepts both arguments.
     """
+    if method == AUTO_METHOD:
+        return
     if method not in PARALLEL_METHODS and (factor is not None or cache is not None):
         raise ValueError(f"method {method!r} does not use a Cholesky factor; drop factor=/cache=")
 

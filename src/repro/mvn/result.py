@@ -4,7 +4,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["MVNResult"]
+
+#: marker key identifying an encoded ndarray in a serialized details tree
+_NDARRAY_KEY = "__ndarray__"
+
+
+def _encode_value(value):
+    """Recursively encode a details value into JSON-safe primitives.
+
+    ``numpy`` arrays become ``{"__ndarray__": {"data": ..., "dtype": ...}}``
+    so :func:`_decode_value` can restore them with full type fidelity;
+    numpy scalars collapse to their Python equivalents; anything exotic
+    falls back to ``repr`` (JSON-safety is guaranteed, round-tripping is
+    best-effort for caller-supplied objects).
+    """
+    if isinstance(value, np.ndarray):
+        return {_NDARRAY_KEY: {"data": value.tolist(), "dtype": str(value.dtype)}}
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _decode_value(value):
+    """Inverse of :func:`_encode_value` (arrays are restored as ndarrays)."""
+    if isinstance(value, dict):
+        if set(value) == {_NDARRAY_KEY}:
+            spec = value[_NDARRAY_KEY]
+            return np.asarray(spec["data"], dtype=spec["dtype"])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
 
 
 @dataclass
@@ -44,6 +83,45 @@ class MVNResult:
 
     def __float__(self) -> float:
         return self.probability
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict of the result (``json.dumps`` works directly).
+
+        Nested ``details`` trees — including ``details["plan"]`` and
+        ``details["serve"]`` — are encoded recursively; numpy arrays are
+        tagged so :meth:`from_dict` restores them as arrays.  This is what
+        lets served results cross process boundaries without pickling (the
+        multiprocessing shard path ships these dicts).
+
+        >>> import json
+        >>> result = MVNResult(0.25, 1e-3, 100, 2, method="sov",
+        ...                    details={"plan": {"method": "dense"}})
+        >>> restored = MVNResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        >>> restored.probability == result.probability
+        True
+        >>> restored.details["plan"]["method"]
+        'dense'
+        """
+        return {
+            "probability": self.probability,
+            "error": self.error,
+            "n_samples": self.n_samples,
+            "dimension": self.dimension,
+            "method": self.method,
+            "details": _encode_value(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MVNResult":
+        """Rebuild a result from a :meth:`to_dict` payload."""
+        return cls(
+            probability=payload["probability"],
+            error=payload["error"],
+            n_samples=payload["n_samples"],
+            dimension=payload["dimension"],
+            method=payload.get("method", ""),
+            details=_decode_value(payload.get("details", {})),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -17,6 +17,7 @@ kernel rates onto modelled architectures and cluster sizes:
 from repro.perf.machines import MachineSpec, MACHINES, get_machine
 from repro.perf.calibration import CalibrationResult, calibrate
 from repro.perf.hotpath import run_hotpath_benchmark, hotpath_workload
+from repro.perf.planner import run_planner_benchmark, planner_scenarios
 from repro.perf.serving import run_serving_benchmark, serving_workload
 from repro.perf.models import (
     PMVNCostModel,
@@ -34,6 +35,8 @@ __all__ = [
     "calibrate",
     "run_hotpath_benchmark",
     "hotpath_workload",
+    "run_planner_benchmark",
+    "planner_scenarios",
     "run_serving_benchmark",
     "serving_workload",
     "PMVNCostModel",

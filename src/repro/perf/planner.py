@@ -1,0 +1,165 @@
+"""Measured planner benchmark (the query-layer perf gate).
+
+:func:`run_planner_benchmark` checks that ``method="auto"`` earns its keep:
+on a three-scenario sweep spanning the planner's decision space —
+
+* **small_dense** — a small exponential-kernel field, where dense
+  factorization is cheap and compression overhead cannot pay off,
+* **banded_tile** — a banded (AR-style) covariance at medium dimension,
+  whose off-diagonal tiles compress to tiny ranks,
+* **lowrank_tlr** — a large smooth (long-range) field, the paper's TLR
+  sweet spot —
+
+the planner-chosen method must never cost more than
+:data:`PLANNER_OVERHEAD_GATE` x the **best hand-picked** method's wall time
+(cold functional calls, candidate first, minima over repeats; the same
+protocol as :mod:`repro.perf.hotpath`), while staying **bit-identical** to
+explicitly requesting the method the planner chose.  Emits
+``BENCH_planner.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["run_planner_benchmark", "planner_scenarios", "PLANNER_OVERHEAD_GATE"]
+
+#: acceptance threshold: auto wall time vs the best hand-picked method
+PLANNER_OVERHEAD_GATE = 1.2
+
+#: the hand-picked candidates auto is judged against (the methods the
+#: planner chooses between)
+_CANDIDATES = ("dense", "tlr")
+
+
+def _spatial_sigma(n: int, range_: float) -> np.ndarray:
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+    side = int(np.ceil(np.sqrt(n)))
+    geom = Geometry.regular_grid(side, side)
+    return build_covariance(ExponentialKernel(1.0, range_), geom.locations[:n], nugget=1e-6)
+
+
+def _banded_sigma(n: int, length: float = 8.0) -> np.ndarray:
+    """A 1-D AR-style covariance: exponential decay in index distance (SPD)."""
+    idx = np.arange(n, dtype=np.float64)
+    sigma = np.exp(-np.abs(idx[:, None] - idx[None, :]) / length)
+    np.fill_diagonal(sigma, sigma.diagonal() + 1e-6)
+    return sigma
+
+
+def planner_scenarios(quick: bool = False) -> dict[str, dict]:
+    """The benchmark's scenario suite: name -> workload description.
+
+    ``quick=True`` shrinks every dimension for the tier-1 smoke run (the
+    plumbing is exercised, timings are noise, the speed gate is skipped).
+    """
+    if quick:
+        return {
+            "small_dense": {"sigma": _spatial_sigma(36, 0.1), "n_samples": 64},
+            "banded_tile": {"sigma": _banded_sigma(49), "n_samples": 64},
+            "lowrank_tlr": {"sigma": _spatial_sigma(64, 0.8), "n_samples": 64},
+        }
+    return {
+        "small_dense": {"sigma": _spatial_sigma(196, 0.1), "n_samples": 1000},
+        "banded_tile": {"sigma": _banded_sigma(784), "n_samples": 2000},
+        "lowrank_tlr": {"sigma": _spatial_sigma(1600, 0.3), "n_samples": 4000},
+    }
+
+
+def _one_sided_box(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return np.full(n, -np.inf), rng.uniform(0.5, 2.5, n)
+
+
+def _timed_call(a, b, sigma, method, n_samples, seed):
+    """One cold functional call (fresh runtime + factorization), timed."""
+    from repro import mvn_probability
+
+    start = time.perf_counter()
+    result = mvn_probability(a, b, sigma, method=method, n_samples=n_samples, rng=seed)
+    return result, time.perf_counter() - start
+
+
+def run_planner_benchmark(
+    repeats: int = 3,
+    seed: int = 7,
+    quick: bool = False,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Run the three-scenario planner benchmark and return the record.
+
+    Parameters
+    ----------
+    repeats : int
+        Timed repetitions per (scenario, method); minima are reported.  In
+        every repeat the auto (candidate) call runs first so it absorbs the
+        cold numpy/BLAS caches.
+    seed : int
+        Box-generation and QMC seed (shared per scenario, so auto's result
+        can be pinned bit-identical to its chosen method's).
+    quick : bool
+        Tiny sizes, gate skipped — the ``perf_smoke`` tier-1 mode.
+    json_path : path, optional
+        When given, the record is also written there as JSON.
+    """
+    scenarios = planner_scenarios(quick=quick)
+    record: dict = {
+        "benchmark": "planner_auto",
+        "machine": {"python": platform.python_version(), "platform": platform.platform()},
+        "gate": {
+            "metric": "auto wall time vs best hand-picked method, per scenario",
+            "threshold": PLANNER_OVERHEAD_GATE,
+            "quick": quick,
+        },
+        "scenarios": {},
+    }
+    all_passed = True
+    for name, workload in scenarios.items():
+        sigma = workload["sigma"]
+        n = sigma.shape[0]
+        n_samples = workload["n_samples"]
+        a, b = _one_sided_box(n, seed)
+
+        elapsed: dict[str, list[float]] = {m: [] for m in ("auto", *_CANDIDATES)}
+        results: dict[str, object] = {}
+        for _ in range(repeats):
+            # candidate first: auto eats the cold caches in every repeat
+            for method in ("auto", *_CANDIDATES):
+                result, seconds = _timed_call(a, b, sigma, method, n_samples, seed)
+                elapsed[method].append(seconds)
+                results[method] = result
+
+        auto_result = results["auto"]
+        chosen = auto_result.details["plan"]["method"]
+        bit_identical = (
+            auto_result.probability == results[chosen].probability
+            and auto_result.error == results[chosen].error
+        )
+        best = {m: min(elapsed[m]) for m in elapsed}
+        best_handpicked = min(best[m] for m in _CANDIDATES)
+        ratio = best["auto"] / best_handpicked
+        passed = bool(bit_identical and (quick or ratio <= PLANNER_OVERHEAD_GATE))
+        all_passed = all_passed and passed
+        record["scenarios"][name] = {
+            "n": n,
+            "n_samples": n_samples,
+            "chosen_method": chosen,
+            "plan_reason": auto_result.details["plan"]["reason"],
+            "elapsed": best,
+            "ratio_vs_best": ratio,
+            "bit_identical_to_chosen": bit_identical,
+            "passed": passed,
+        }
+    record["gate"]["passed"] = all_passed
+
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

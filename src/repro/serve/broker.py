@@ -37,6 +37,8 @@ from concurrent.futures import Future, InvalidStateError
 import numpy as np
 
 from repro.batch.cache import FingerprintMemo
+from repro.mvn.result import MVNResult
+from repro.query import MVNQuery, QueryPlanner
 from repro.serve.config import ServeConfig
 from repro.serve.pool import ModelRoster, ShardPool
 from repro.serve.stats import ServeStats, ShardSnapshot
@@ -75,6 +77,38 @@ class _Request:
         self.mean = mean
         self.future = future
         self.enqueued = enqueued
+
+
+class _PlanMemo:
+    """Bounded memo of planner decisions keyed by (fingerprint, n_samples).
+
+    Planning is deterministic in ``(sigma, config, n_samples)`` (see
+    :mod:`repro.query.planner`), so the broker can compute the plan once
+    per distinct covariance/sample-size pair and reuse it in every batch
+    key — the shard re-derives the identical plan when it executes.
+    """
+
+    def __init__(self, planner: QueryPlanner, solver_config: SolverConfig,
+                 size: int = 64) -> None:
+        self._planner = planner
+        self._config = solver_config
+        self._size = size
+        self._entries: dict[tuple, tuple[str, str | None]] = {}
+        self._lock = threading.Lock()
+
+    def planned(self, fingerprint: str, sigma, n_samples: int) -> tuple[str, str | None]:
+        """The ``(method, backend)`` the shard will resolve for this query."""
+        key = (fingerprint, int(n_samples))
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            plan = self._planner.plan(sigma, self._config, n_samples=n_samples)
+            entry = (plan.method, plan.backend)
+            with self._lock:
+                if len(self._entries) >= self._size:
+                    self._entries.clear()  # tiny tuples; wholesale reset is fine
+                self._entries[key] = entry
+        return entry
 
 
 class _Bucket:
@@ -143,6 +177,7 @@ class QueryBroker:
             cache_entries=config.cache_entries,
         )
         self._fingerprints = FingerprintMemo()
+        self._plans = _PlanMemo(QueryPlanner(), solver_config)
         # broker-side mirror of each shard's model LRU: the same ModelRoster
         # code the worker runs, updated in the same (FIFO queue) order, so
         # the broker knows when a shard needs the covariance re-shipped
@@ -173,14 +208,24 @@ class QueryBroker:
             collector.start()
 
     # -- submission ------------------------------------------------------------------
-    def submit(self, a, b, sigma, *, mean=None, n_samples: int | None = None,
-               rng=None, qmc: str | None = None, timeout: float | None = None) -> Future:
+    def submit(self, a, b=None, sigma=None, *, mean=None, n_samples: int | None = None,
+               rng=None, qmc: str | None = None, target_error: float | None = None,
+               max_samples: int | None = None, timeout: float | None = None) -> Future:
         """Queue one probability query; returns a Future of its result.
+
+        Accepts either explicit limits (``submit(a, b, sigma, ...)``) or a
+        declarative :class:`repro.query.MVNQuery` with the covariance as
+        the second argument (``submit(query, sigma, ...)``) — the query
+        carries limits, mean, sampling overrides, error target, budget and
+        tag, and both spellings validate through the same path.
 
         Parameters
         ----------
-        a, b : array_like (n,)
-            Integration limits (``+/- inf`` allowed).
+        a : array_like (n,) or MVNQuery
+            Lower integration limits, or the whole query object.
+        b : array_like (n,)
+            Upper integration limits (``+/- inf`` allowed); omitted when a
+            query object is given.
         sigma : array_like (n, n)
             Covariance matrix; queries sharing a covariance (by *content*)
             are routed to the same warm shard and micro-batched together.
@@ -190,6 +235,9 @@ class QueryBroker:
         n_samples, qmc : optional
             Per-request overrides of the solver config (part of the batch
             key: only requests with equal settings share a sweep).
+        target_error, max_samples : optional
+            Adaptive accuracy contract, executed shard-side exactly like
+            :meth:`repro.solver.Model.probability` (part of the batch key).
         rng : int or None
             QMC randomization seed.  Serving requires a reproducible seed
             (or ``None`` for fresh entropy per request); generator objects
@@ -205,9 +253,31 @@ class QueryBroker:
         -------
         concurrent.futures.Future
             Resolves to the :class:`repro.mvn.result.MVNResult`, with
-            serving metadata under ``result.details["serve"]``.  Awaitable
-            via ``asyncio.wrap_future``.
+            serving metadata under ``result.details["serve"]`` and the
+            executed plan under ``result.details["plan"]``.  Awaitable via
+            ``asyncio.wrap_future``.
         """
+        if isinstance(a, MVNQuery):
+            query = a
+            if sigma is None:
+                sigma = b
+            elif b is not None:
+                raise TypeError("submit(query, sigma) takes no separate b= limits")
+            if (mean is not None or n_samples is not None or rng is not None
+                    or qmc is not None or target_error is not None
+                    or max_samples is not None):
+                raise TypeError(
+                    "submit(query, sigma) carries every override inside the "
+                    "MVNQuery; drop the duplicate keyword arguments"
+                )
+        else:
+            query = MVNQuery(
+                a, b, mean=mean, n_samples=n_samples, rng=rng, qmc=qmc,
+                target_error=target_error, max_samples=max_samples,
+            )
+        if sigma is None:
+            raise TypeError("submit requires the covariance matrix (sigma)")
+        rng = query.rng
         if rng is not None and not isinstance(rng, (int, np.integer)):
             raise TypeError(
                 "serve submissions take rng=None or an integer seed, got "
@@ -218,15 +288,34 @@ class QueryBroker:
         if sigma_arr.ndim != 2 or sigma_arr.shape[0] != sigma_arr.shape[1]:
             raise ValueError(f"sigma must be a square matrix, got shape {sigma_arr.shape}")
         n = sigma_arr.shape[0]
-        a_vec, b_vec = check_limits(a, b, n)
-        mean_vec = self._normalize_mean(mean, n)
+        a_vec, b_vec = check_limits(query.a, query.b, n)
+        # query.mean is already validated/normalized by MVNQuery (None,
+        # float, or a length-n vector — the length matches because the
+        # limits just checked out against n); collapse to the wire form
+        # the shards expect: None for a zero mean, else a vector
+        mean = query.mean
+        if mean is None or (np.isscalar(mean) and float(mean) == 0.0):
+            mean_vec = None
+        elif np.isscalar(mean):
+            mean_vec = np.full(n, float(mean))
+        else:
+            mean_vec = mean
 
         fingerprint = self._fingerprints.fingerprint(sigma_arr)
+        resolved_samples = (
+            self.solver_config.n_samples if query.n_samples is None else query.n_samples
+        )
+        # the planner's (method, backend) decision joins the batch key, so
+        # requests only share a sweep when they will execute the same plan
+        planned = self._plans.planned(fingerprint, sigma_arr, resolved_samples)
         key = (
             fingerprint,
-            self.solver_config.n_samples if n_samples is None else int(n_samples),
-            self.solver_config.qmc if qmc is None else str(qmc),
+            resolved_samples,
+            self.solver_config.qmc if query.qmc is None else query.qmc,
             None if rng is None else int(rng),
+            planned,
+            query.target_error,
+            query.max_samples,
         )
 
         if not self._slots.acquire(timeout=timeout):
@@ -254,32 +343,18 @@ class QueryBroker:
             raise
         return future
 
-    def submit_async(self, a, b, sigma, **kwargs):
+    def submit_async(self, a, b=None, sigma=None, **kwargs):
         """``submit`` wrapped for asyncio: returns an awaitable future.
 
-        Must be called from a running event loop (it binds the returned
-        future to it); the blocking-submit caveats of ``timeout=`` apply to
-        the synchronous part.
+        Accepts both submission forms (explicit limits or an
+        :class:`repro.query.MVNQuery` first argument).  Must be called from
+        a running event loop (it binds the returned future to it); the
+        blocking-submit caveats of ``timeout=`` apply to the synchronous
+        part.
         """
         import asyncio
 
         return asyncio.wrap_future(self.submit(a, b, sigma, **kwargs))
-
-    @staticmethod
-    def _normalize_mean(mean, n: int) -> np.ndarray | None:
-        """Per-request means as length-``n`` vectors (``None`` = zero mean)."""
-        if mean is None:
-            return None
-        if np.isscalar(mean):
-            mu = float(mean)
-            return None if mu == 0.0 else np.full(n, mu)
-        mean = np.asarray(mean, dtype=np.float64)
-        if mean.ndim == 0:
-            mu = float(mean)
-            return None if mu == 0.0 else np.full(n, mu)
-        if mean.shape != (n,):
-            raise ValueError(f"mean must be a scalar or length-{n} vector, got shape {mean.shape}")
-        return mean
 
     # -- lifecycle -------------------------------------------------------------------
     @property
@@ -383,7 +458,7 @@ class QueryBroker:
 
     def _flush(self, key: tuple, bucket: _Bucket) -> None:
         """Dispatch one micro-batch to the shard owning its fingerprint."""
-        fingerprint, n_samples, qmc, seed = key
+        fingerprint, n_samples, qmc, seed, _planned, target_error, max_samples = key
         requests = bucket.requests
         shard_id = self._pool.route(fingerprint)
         sigma = requests[0].sigma if self._roster_insert(shard_id, fingerprint) else None
@@ -401,7 +476,8 @@ class QueryBroker:
             self._stats.batches += 1
         self._pool.send(
             shard_id,
-            ("batch", batch_id, fingerprint, sigma, boxes, means, n_samples, qmc, seed),
+            ("batch", batch_id, fingerprint, sigma, boxes, means, n_samples, qmc,
+             seed, target_error, max_samples),
         )
 
     def _roster_insert(self, shard_id: int, fingerprint: str) -> bool:
@@ -445,6 +521,12 @@ class QueryBroker:
                 return
             if kind == "ok":
                 _, batch_id, results, shard_stats = message
+                # process shards ship JSON-safe dicts (no pickled results);
+                # thread shards hand the MVNResult objects over directly
+                results = [
+                    MVNResult.from_dict(r) if isinstance(r, dict) else r
+                    for r in results
+                ]
                 with self._state_lock:
                     entry = self._inflight.pop(batch_id, None)
                     if entry is None:

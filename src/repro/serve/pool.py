@@ -19,8 +19,11 @@ path a direct caller would.
 Protocol (one request/response queue pair per shard):
 
 * ``("batch", batch_id, fingerprint, sigma_or_None, boxes, means,
-  n_samples, qmc, seed)`` — evaluate a micro-batch; ``sigma`` is shipped
-  only the first time the broker routes that fingerprint to the shard.
+  n_samples, qmc, seed, target_error, max_samples)`` — evaluate a
+  micro-batch; ``sigma`` is shipped only the first time the broker routes
+  that fingerprint to the shard; ``target_error`` / ``max_samples`` drive
+  the per-box adaptive refinement exactly as a direct
+  :meth:`repro.solver.Model.probability_batch` call would.
 * ``("stop",)`` — close the solver and exit.
 
 Responses:
@@ -28,6 +31,10 @@ Responses:
 * ``("ok", batch_id, results, stats_dict)`` — one
   :class:`repro.mvn.result.MVNResult` per box, in box order, plus the
   shard's counters (see :class:`repro.serve.stats.ShardSnapshot`).
+  Process-mode shards serialize each result through
+  :meth:`repro.mvn.result.MVNResult.to_dict`, so results cross the process
+  boundary as JSON-safe dicts instead of pickled objects (the broker
+  restores them with ``MVNResult.from_dict``).
 * ``("error", batch_id, message)`` — the whole batch failed.
 * ``("stopped", stats_dict)`` — acknowledgement of ``("stop",)``.
 """
@@ -103,11 +110,13 @@ def shard_for_fingerprint(fingerprint: str, n_shards: int) -> int:
 
 
 def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
-                     request_q, response_q) -> None:
+                     request_q, response_q, serialize_results: bool = False) -> None:
     """The shard worker: one warm solver, serving batches until ``("stop",)``.
 
     Top-level (not a closure/method) so ``multiprocessing`` can spawn it;
-    thread mode runs the identical function in-process.
+    thread mode runs the identical function in-process.  With
+    ``serialize_results`` (process mode) each result ships as its JSON-safe
+    :meth:`~repro.mvn.result.MVNResult.to_dict` payload.
     """
     # imported here so a spawned process pays its import cost in the worker
     from repro.solver import MVNSolver
@@ -136,7 +145,8 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
             if message[0] == "stop":
                 response_q.put(("stopped", stats()))
                 return
-            _, batch_id, fingerprint, sigma, boxes, means, n_samples, qmc, seed = message
+            (_, batch_id, fingerprint, sigma, boxes, means, n_samples, qmc,
+             seed, target_error, max_samples) = message
             try:
                 model = models.get(fingerprint)
                 if model is None:
@@ -148,10 +158,13 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
                     model = solver.model(np.asarray(sigma, dtype=np.float64))
                     models.insert(fingerprint, model)
                 results = model.probability_batch(
-                    boxes, means=means, n_samples=n_samples, qmc=qmc, rng=seed
+                    boxes, means=means, n_samples=n_samples, qmc=qmc, rng=seed,
+                    target_error=target_error, max_samples=max_samples,
                 )
                 batches += 1
                 requests += len(boxes)
+                if serialize_results:
+                    results = [result.to_dict() for result in results]
                 response_q.put(("ok", batch_id, results, stats()))
             except Exception as exc:  # noqa: BLE001 - forwarded to the caller's Future
                 response_q.put(("error", batch_id, f"{type(exc).__name__}: {exc}"))
@@ -179,7 +192,9 @@ class _Shard:
             self.response_q = ctx.Queue()
             self.worker = ctx.Process(
                 target=shard_serve_loop,
-                args=(shard_id, *args, self.request_q, self.response_q),
+                # serialize_results=True: results cross the process boundary
+                # as JSON-safe MVNResult.to_dict payloads, not pickled objects
+                args=(shard_id, *args, self.request_q, self.response_q, True),
                 daemon=True,
                 name=f"repro-serve-shard-{shard_id}",
             )

@@ -21,7 +21,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.core.kernel_backend import resolve_backend_name
-from repro.core.methods import PARALLEL_METHODS, canonical_method
+from repro.core.methods import AUTO_METHOD, PARALLEL_METHODS, canonical_method
 
 __all__ = ["SolverConfig"]
 
@@ -97,6 +97,11 @@ class SolverConfig:
     def is_parallel(self) -> bool:
         """Whether the configured method runs on a Cholesky factor."""
         return self.method in PARALLEL_METHODS
+
+    @property
+    def is_auto(self) -> bool:
+        """Whether the estimator is planner-chosen per query (``"auto"``)."""
+        return self.method == AUTO_METHOD
 
     def replace(self, **changes) -> "SolverConfig":
         """A copy of the config with ``changes`` applied (re-validated)."""

@@ -40,20 +40,37 @@ import numpy as np
 from repro.batch.batched import _baseline_loop, _batched_parallel, _stamp_batch_details
 from repro.batch.cache import FactorCache
 from repro.core.crd import ConfidenceRegionResult, _confidence_region_impl
-from repro.core.factor import CholeskyFactor, factorize
+from repro.core.factor import CholeskyFactor, TLRFactor, factorize
 from repro.core.methods import check_factor_args
-from repro.core.pmvn import SweepWorkspace, pmvn_dense, pmvn_tlr
+from repro.core.pmvn import SweepWorkspace, _resolve_means, pmvn_dense, pmvn_tlr
 from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
 from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
+from repro.query import MVNQuery, QueryPlan, QueryPlanner, next_sample_count
 from repro.runtime import Runtime
 from repro.solver.config import SolverConfig
+from repro.utils.validation import check_limits
 
 __all__ = ["MVNSolver", "Model"]
 
 #: default sentinel: "the solver owns a fresh cache" (pass ``cache=None`` to
 #: disable caching entirely, or an existing FactorCache to share one)
 _OWNED_CACHE = object()
+
+
+def _boxes_one_sided_fraction(boxes) -> float:
+    """Aggregate one-sidedness of a batch (fraction of infinite limit entries)."""
+    infinite = 0
+    total = 0
+    try:
+        for a, b in boxes:
+            a = np.asarray(a, dtype=np.float64)
+            b = np.asarray(b, dtype=np.float64)
+            infinite += int(np.isneginf(a).sum()) + int(np.isposinf(b).sum())
+            total += a.size + b.size
+    except (TypeError, ValueError):
+        return 0.0  # malformed boxes: let the sweep raise its precise error
+    return infinite / total if total else 0.0
 
 
 class MVNSolver:
@@ -79,6 +96,9 @@ class MVNSolver:
         fresh cache.
     cache_entries : int
         Capacity of the owned cache.
+    planner : repro.query.QueryPlanner, optional
+        The planner resolving ``method="auto"`` and adaptive-accuracy
+        schedules for this solver's models (default thresholds otherwise).
 
     Notes
     -----
@@ -96,6 +116,7 @@ class MVNSolver:
         runtime: Runtime | None = None,
         cache=_OWNED_CACHE,
         cache_entries: int = 8,
+        planner: QueryPlanner | None = None,
     ) -> None:
         if config is None:
             config = SolverConfig()
@@ -110,6 +131,9 @@ class MVNSolver:
         self.cache: FactorCache | None = FactorCache(max_entries=cache_entries) if self._owns_cache else cache
         if self.cache is not None and not isinstance(self.cache, FactorCache):
             raise TypeError(f"cache must be a FactorCache or None, got {type(self.cache).__name__}")
+        self.planner = QueryPlanner() if planner is None else planner
+        if not isinstance(self.planner, QueryPlanner):
+            raise TypeError(f"planner must be a QueryPlanner, got {type(self.planner).__name__}")
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------------
@@ -186,7 +210,17 @@ class Model:
         self._solver = solver
         self._sigma = np.asarray(sigma, dtype=np.float64)
         self._mean = mean
-        self._factor = factor
+        # one factor per resolved method: ``method="auto"`` may legitimately
+        # answer different queries with different estimators against one model
+        self._factors: dict[str, CholeskyFactor] = {}
+        self._bound_method: str | None = None
+        if factor is not None:
+            self._bound_method = "tlr" if isinstance(factor, TLRFactor) else "dense"
+            self._factors[self._bound_method] = factor
+        # planner state: the structure probe depends only on (sigma, accuracy)
+        # and is memoized so repeated auto queries plan without re-probing
+        self._planner = solver.planner
+        self._probe: dict | None = None
         # pooled sweep buffers (wave matrices + per-worker kernel/GEMM
         # scratch) shared by every query against this model, so repeated
         # probabilities run allocation-free after the first call
@@ -219,44 +253,82 @@ class Model:
 
     @property
     def factor(self) -> CholeskyFactor | None:
-        """The bound factor, or ``None`` if not yet factorized."""
-        return self._factor
+        """The bound factor, or ``None`` if not yet factorized.
+
+        With ``method="auto"`` a model may hold one factor per resolved
+        method; this returns the factor of the configured method, falling
+        back to the single held factor (if exactly one exists).
+        """
+        factor = self._factors.get(self.config.method)
+        if factor is None and len(self._factors) == 1:
+            factor = next(iter(self._factors.values()))
+        return factor
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "factorized" if self._factor is not None else "lazy"
+        state = "factorized" if self._factors else "lazy"
         return f"Model(n={self.n}, method={self.config.method!r}, {state})"
+
+    # -- planning ------------------------------------------------------------------
+    def plan(self, query: MVNQuery | None = None, **overrides) -> QueryPlan:
+        """The :class:`repro.query.QueryPlan` this model would execute.
+
+        Pure inspection: nothing is factorized or swept.  ``overrides``
+        are forwarded to :meth:`repro.query.QueryPlanner.plan`
+        (``n_samples=``, ``target_error=``, ...).
+        """
+        self._solver._check_open()
+        cfg = self.config
+        if cfg.is_auto and self._probe is None and self._bound_method is None \
+                and self.n > self._planner.dense_max_n:
+            self._probe = self._planner.probe_structure(self._sigma, cfg.accuracy)
+        return self._planner.plan(
+            self._sigma, cfg, query,
+            bound_method=self._bound_method if cfg.is_auto else None,
+            probe=self._probe, **overrides,
+        )
 
     # -- factorization -------------------------------------------------------------
     def factorize(self, timings=None) -> CholeskyFactor:
-        """Factor the covariance now (instead of lazily on the first query)."""
+        """Factor the covariance now (instead of lazily on the first query).
+
+        With ``method="auto"`` the planner resolves the method first (the
+        eager factor is the one the default query shape would use).
+        """
         self._solver._check_open()
-        if not self.config.is_parallel:
+        cfg = self.config
+        method = self.plan().method if cfg.is_auto else cfg.method
+        if method not in ("dense", "tlr"):
             raise ValueError(
-                f"method {self.config.method!r} does not use a Cholesky factor; "
+                f"method {cfg.method!r} does not use a Cholesky factor; "
                 "nothing to factorize"
             )
-        return self._ensure_factor(timings=timings)
+        return self._ensure_factor(method, timings=timings)
 
-    def _ensure_factor(self, timings=None) -> CholeskyFactor:
-        if self._factor is None:
+    def _ensure_factor(self, method: str, timings=None) -> CholeskyFactor:
+        factor = self._factors.get(method)
+        if factor is None:
             cfg = self.config
             cache = self._solver.cache
             if cache is not None:
-                self._factor = cache.get_or_factorize(
-                    self._sigma, method=cfg.method, tile_size=cfg.tile_size,
+                factor = cache.get_or_factorize(
+                    self._sigma, method=method, tile_size=cfg.tile_size,
                     accuracy=cfg.accuracy, max_rank=cfg.max_rank,
                     runtime=self._solver.runtime, timings=timings,
                 )
             else:
-                self._factor = factorize(
-                    self._sigma, method=cfg.method, tile_size=cfg.tile_size,
+                factor = factorize(
+                    self._sigma, method=method, tile_size=cfg.tile_size,
                     accuracy=cfg.accuracy, max_rank=cfg.max_rank,
                     runtime=self._solver.runtime, timings=timings,
                 )
-        return self._factor
+            self._factors[method] = factor
+        return factor
 
     # -- queries -------------------------------------------------------------------
-    def probability(self, a, b, *, n_samples: int | None = None, rng=None, qmc: str | None = None, timings=None) -> MVNResult:
+    def probability(
+        self, a, b, *, n_samples: int | None = None, rng=None, qmc: str | None = None,
+        timings=None, target_error: float | None = None, max_samples: int | None = None,
+    ) -> MVNResult:
         """Estimate ``P(a <= X <= b)`` for this model.
 
         Bit-identical to :func:`repro.mvn_probability` with the same
@@ -264,67 +336,199 @@ class Model:
         methods, the pooled sweep workspace — is reused across calls.
         ``timings=`` accepts a :class:`repro.utils.timers.TimingRegistry`
         that receives the per-phase breakdown (factorization, QMC
-        generation, kernel sweep, GEMM propagation).
+        generation, kernel sweep, GEMM propagation).  ``target_error=``
+        turns on adaptive accuracy targeting (escalating re-runs within the
+        ``max_samples`` budget); the decision trail lands in
+        ``result.details["plan"]``.
+        """
+        query = MVNQuery(
+            a, b, n_samples=n_samples, rng=rng, qmc=qmc,
+            target_error=target_error, max_samples=max_samples,
+        )
+        return self.query(query, timings=timings)
+
+    def query(self, query: MVNQuery, *, timings=None) -> MVNResult:
+        """Execute one declarative :class:`repro.query.MVNQuery`.
+
+        The spec -> plan -> execute path every entry point funnels through:
+        the planner resolves the estimator (``method="auto"``) and kernel
+        backend, then the adaptive loop runs the sweep — once, or with
+        escalating sample counts when ``query.target_error`` is set —
+        reusing the model's cached factor and pooled workspaces.  The plan
+        and the escalation outcome are recorded under
+        ``result.details["plan"]``.
         """
         solver = self._solver
         solver._check_open()
+        if not isinstance(query, MVNQuery):
+            raise TypeError(f"query must be an MVNQuery, got {type(query).__name__}")
+        check_limits(query.a, query.b, self.n)
+        mean = self._mean if query.mean is None else query.mean
         cfg = solver.config
-        n_samples = cfg.n_samples if n_samples is None else n_samples
-        qmc = cfg.qmc if qmc is None else qmc
-        method = cfg.method
+        qmc = cfg.qmc if query.qmc is None else query.qmc
+        plan = self.plan(query)
+
+        n_samples = plan.n_samples
+        rounds = 0
+        samples_used = 0
+        while True:
+            result = self._evaluate(
+                plan.method, query.a, query.b, mean, n_samples, qmc,
+                query.rng, plan.backend, timings,
+            )
+            rounds += 1
+            samples_used += n_samples
+            if plan.target_error is None or result.error <= plan.target_error:
+                target_met = None if plan.target_error is None else True
+                break
+            escalated = next_sample_count(
+                n_samples, result.error, plan.target_error, plan.max_samples
+            )
+            if escalated is None:
+                target_met = False
+                break
+            n_samples = escalated
+        result.details["plan"] = plan.as_details(
+            rounds=rounds, samples_used=samples_used, target_met=target_met
+        )
+        return result
+
+    def _evaluate(self, method, a, b, mean, n_samples, qmc, rng, backend, timings) -> MVNResult:
+        """One estimator run with an explicitly resolved method/backend."""
+        solver = self._solver
+        cfg = solver.config
         if method == "mc":
-            return mvn_mc(a, b, self._sigma, n_samples=n_samples, mean=self._mean, rng=rng)
+            return mvn_mc(a, b, self._sigma, n_samples=n_samples, mean=mean, rng=rng)
         if method == "sov-seq":
-            return mvn_sov(a, b, self._sigma, n_samples=n_samples, mean=self._mean, qmc=qmc, rng=rng)
+            return mvn_sov(a, b, self._sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
         if method == "sov":
-            return mvn_sov_vectorized(a, b, self._sigma, n_samples=n_samples, mean=self._mean, qmc=qmc, rng=rng)
-        factor = self._ensure_factor(timings=timings)
+            return mvn_sov_vectorized(a, b, self._sigma, n_samples=n_samples, mean=mean, qmc=qmc, rng=rng)
+        factor = self._ensure_factor(method, timings=timings)
         if method == "dense":
             return pmvn_dense(
                 a, b, None, n_samples=n_samples, tile_size=cfg.tile_size,
-                runtime=solver.runtime, mean=self._mean, qmc=qmc, rng=rng,
+                runtime=solver.runtime, mean=mean, qmc=qmc, rng=rng,
                 chain_block=cfg.chain_block, factor=factor,
-                backend=cfg.backend, workspace=self._sweep_workspace,
+                backend=backend, workspace=self._sweep_workspace,
                 timings=timings,
             )
         # method == "tlr" (the registry admits nothing else)
         return pmvn_tlr(
             a, b, None, n_samples=n_samples, tile_size=cfg.tile_size,
             accuracy=cfg.accuracy, max_rank=cfg.max_rank, runtime=solver.runtime,
-            mean=self._mean, qmc=qmc, rng=rng, chain_block=cfg.chain_block,
-            factor=factor, backend=cfg.backend, workspace=self._sweep_workspace,
+            mean=mean, qmc=qmc, rng=rng, chain_block=cfg.chain_block,
+            factor=factor, backend=backend, workspace=self._sweep_workspace,
             timings=timings,
         )
 
     def probability_batch(
         self, boxes, *, means=None, n_samples: int | None = None, rng=None,
-        qmc: str | None = None, timings=None,
+        qmc: str | None = None, timings=None, target_error: float | None = None,
+        max_samples: int | None = None,
     ) -> list[MVNResult]:
         """Estimate ``P(a_i <= X <= b_i)`` for many boxes against this model.
 
         ``means`` defaults to the model's bound mean for every box;
         otherwise it accepts everything
-        :func:`repro.batch.mvn_probability_batch` does.
+        :func:`repro.batch.mvn_probability_batch` does.  ``target_error=``
+        applies per box: boxes whose standard error misses the target are
+        re-swept at escalating sample counts (the same schedule a single
+        :meth:`probability` call would follow, so per-box results stay
+        identical across entry points for integer seeds) until the target
+        or the ``max_samples`` budget is reached.
         """
         solver = self._solver
         solver._check_open()
         cfg = solver.config
-        n_samples = cfg.n_samples if n_samples is None else n_samples
         qmc = cfg.qmc if qmc is None else qmc
         boxes = list(boxes)
+        # the same query-boundary validation every other entry point gets:
+        # a bad box must raise the uniform ValueError *before* any
+        # factorization is paid (or cached)
+        for idx, box in enumerate(boxes):
+            try:
+                a_raw, b_raw = box
+            except (TypeError, ValueError):
+                raise ValueError(f"box {idx} must be an (a, b) pair of limit vectors") from None
+            check_limits(a_raw, b_raw, self.n)
         if means is None:
             means = self._shared_means(len(boxes))
-        if not cfg.is_parallel:
-            results = _baseline_loop(boxes, self._sigma, cfg.method, n_samples, means, qmc, rng)
-        else:
-            factor = self._ensure_factor(timings=timings)
-            results = _batched_parallel(
-                boxes, cfg.method, n_samples, means, cfg.accuracy, qmc, rng,
-                solver.runtime, factor, cfg.chain_block,
-                cfg.max_workspace_cols, timings,
-                backend=cfg.backend, workspace=self._sweep_workspace,
+        if target_error is not None and not (float(target_error) > 0.0):
+            raise ValueError(f"target_error must be > 0, got {target_error!r}")
+        if max_samples is not None and n_samples is not None and max_samples < n_samples:
+            # mirror the MVNQuery contract so single and batched adaptive
+            # calls accept exactly the same arguments
+            raise ValueError(
+                f"max_samples ({max_samples}) must be >= the initial "
+                f"n_samples ({n_samples})"
+            )
+        plan = self.plan(
+            n_samples=n_samples,
+            one_sided_fraction=_boxes_one_sided_fraction(boxes),
+            target_error=None if target_error is None else float(target_error),
+            max_samples=max_samples,
+        )
+
+        results = self._evaluate_batch(plan, boxes, means, plan.n_samples, qmc, rng, timings)
+        rounds = [1] * len(boxes)
+        samples_used = [plan.n_samples] * len(boxes)
+        if plan.target_error is not None:
+            self._escalate_batch(plan, boxes, means, qmc, rng, timings,
+                                 results, rounds, samples_used)
+        for idx, result in enumerate(results):
+            met = None
+            if plan.target_error is not None:
+                met = bool(result.error <= plan.target_error)
+            result.details["plan"] = plan.as_details(
+                rounds=rounds[idx], samples_used=samples_used[idx], target_met=met
             )
         return _stamp_batch_details(results)
+
+    def _evaluate_batch(self, plan: QueryPlan, boxes, means, n_samples, qmc, rng, timings) -> list[MVNResult]:
+        """One batched sweep with an explicitly resolved method/backend."""
+        solver = self._solver
+        cfg = solver.config
+        if plan.method not in ("dense", "tlr"):
+            return _baseline_loop(boxes, self._sigma, plan.method, n_samples, means, qmc, rng)
+        factor = self._ensure_factor(plan.method, timings=timings)
+        return _batched_parallel(
+            boxes, plan.method, n_samples, means, cfg.accuracy, qmc, rng,
+            solver.runtime, factor, cfg.chain_block,
+            cfg.max_workspace_cols, timings,
+            backend=plan.backend, workspace=self._sweep_workspace,
+        )
+
+    def _escalate_batch(self, plan, boxes, means, qmc, rng, timings,
+                        results, rounds, samples_used) -> None:
+        """Per-box adaptive refinement of a batched sweep (in place).
+
+        Each unmet box follows exactly the escalation schedule of a single
+        adaptive query (:func:`repro.query.next_sample_count`); boxes that
+        land on the same next sample count share one re-sweep.
+        """
+        resolved = _resolve_means(means, len(boxes), self.n)
+        box_samples = [plan.n_samples] * len(boxes)
+        while True:
+            escalations: dict[int, list[int]] = {}
+            for idx, result in enumerate(results):
+                escalated = next_sample_count(
+                    box_samples[idx], result.error, plan.target_error, plan.max_samples
+                )
+                if escalated is not None:
+                    escalations.setdefault(escalated, []).append(idx)
+            if not escalations:
+                return
+            for n_next, indices in sorted(escalations.items()):
+                re_results = self._evaluate_batch(
+                    plan, [boxes[i] for i in indices],
+                    np.stack([resolved[i] for i in indices]),
+                    n_next, qmc, rng, timings,
+                )
+                for idx, re_result in zip(indices, re_results):
+                    results[idx] = re_result
+                    box_samples[idx] = n_next
+                    rounds[idx] += 1
+                    samples_used[idx] += n_next
 
     def confidence_region(
         self, threshold: float, *, algorithm: str = "prefix",
@@ -334,12 +538,19 @@ class Model:
         """Run confidence-region detection (Algorithm 1) on this model.
 
         Uses the model's bound mean and the solver's factor cache, so
-        repeated detections against the same field factorize once.
+        repeated detections against the same field factorize once.  With
+        ``method="auto"`` the planner resolves the factor-based estimator
+        (auto always plans ``"dense"`` or ``"tlr"``).
         """
         solver = self._solver
         solver._check_open()
         cfg = solver.config
-        if not cfg.is_parallel:
+        if cfg.is_auto:
+            plan = self.plan(n_samples=n_samples)
+            method, backend = plan.method, plan.backend
+        elif cfg.is_parallel:
+            method, backend = cfg.method, cfg.backend
+        else:
             raise ValueError(
                 f"confidence_region requires a factor-based method "
                 f"('dense' or 'tlr'), not {cfg.method!r}"
@@ -347,12 +558,12 @@ class Model:
         n_samples = cfg.n_samples if n_samples is None else n_samples
         qmc = cfg.qmc if qmc is None else qmc
         return _confidence_region_impl(
-            self._sigma, self._mean, threshold, method=cfg.method,
+            self._sigma, self._mean, threshold, method=method,
             algorithm=algorithm, n_samples=n_samples, tile_size=cfg.tile_size,
             accuracy=cfg.accuracy, max_rank=cfg.max_rank,
             runtime=solver.runtime, qmc=qmc, rng=rng, nugget=nugget,
             timings=timings, levels=levels, cache=solver.cache,
-            backend=cfg.backend, workspace=self._sweep_workspace,
+            backend=backend, workspace=self._sweep_workspace,
         )
 
     def _shared_means(self, n_boxes: int):

@@ -29,6 +29,11 @@ API_SECTIONS: tuple[tuple[str, str], ...] = (
         "against one covariance.",
     ),
     (
+        "repro.query",
+        "Declarative query specs and the cost-model planner behind "
+        "``method=\"auto\"`` and adaptive accuracy targeting.",
+    ),
+    (
         "repro.batch",
         "Batched many-box evaluation against one covariance, and the "
         "content-addressed factor cache.",
@@ -131,6 +136,8 @@ def api_markdown() -> str:
                 out.extend(_render_class(name, obj))
             elif callable(obj):
                 out.extend(_render_function(name, obj))
-            else:  # pragma: no cover - no plain-data exports today
-                out.append(f"### `{name}`\n\n{_first_doc_line(obj)}\n")
+            else:
+                # a plain-data constant: its value's __doc__ is the *type's*
+                # docstring (useless); render the value instead
+                out.append(f"### `{name}`\n\nModule constant: `{obj!r}`.\n")
     return "\n".join(out).rstrip() + "\n"

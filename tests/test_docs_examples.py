@@ -29,6 +29,10 @@ import repro
 import repro.batch
 import repro.batch.batched
 import repro.batch.cache
+import repro.mvn.result
+import repro.query
+import repro.query.planner
+import repro.query.spec
 import repro.serve
 import repro.serve.broker
 import repro.serve.pool
@@ -58,6 +62,7 @@ class TestDoctests:
     @pytest.mark.parametrize(
         "module",
         [repro, repro.batch, repro.batch.batched, repro.batch.cache,
+         repro.mvn.result, repro.query, repro.query.planner, repro.query.spec,
          repro.serve, repro.serve.broker, repro.serve.pool,
          repro.solver, repro.solver.solver],
         ids=lambda m: m.__name__,
@@ -72,7 +77,7 @@ class TestDocumentSnippets:
     @pytest.mark.parametrize(
         "name",
         ["README.md", "docs/batch.md", "docs/solver.md", "docs/performance.md",
-         "docs/serving.md"],
+         "docs/serving.md", "docs/query.md"],
     )
     def test_python_blocks_execute(self, name):
         for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):
@@ -89,7 +94,7 @@ class TestDocumentSnippets:
         assert "## Glossary" in readme
         for term in ("SOV", "PMVN", "TLR", "CRD", "Chain block", "Micro-batching",
                      "Shard", "Factor fingerprint", "Kernel backend",
-                     "Workspace pooling"):
+                     "Workspace pooling", "Query", "Query plan", "Error target"):
             assert term in readme, f"glossary term {term} missing from README"
 
     def test_every_docs_page_reachable_from_readme(self):
@@ -166,7 +171,8 @@ class TestMethodRegistrySync:
         import repro.core.api
 
         text = (REPO_ROOT / "docs" / "api.md").read_text()
-        for module in (repro.solver, repro.batch, repro.serve, repro.core.api):
+        for module in (repro.solver, repro.query, repro.batch, repro.serve,
+                       repro.core.api):
             for name in module.__all__:
                 assert f"`{name}`" in text, (
                     f"{module.__name__}.{name} missing from docs/api.md"

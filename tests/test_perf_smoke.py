@@ -16,6 +16,7 @@ import json
 import pytest
 
 from repro.perf.hotpath import run_hotpath_benchmark
+from repro.perf.planner import run_planner_benchmark
 from repro.perf.serving import run_serving_benchmark
 
 pytestmark = pytest.mark.perf_smoke
@@ -92,6 +93,26 @@ def test_serving_benchmark_smoke(tmp_path):
     assert sum(s["factorize_count"] for s in stats["shards"]) == 2
     assert record["paths"]["served"]["elapsed"] > 0.0
     assert record["gate"]["threshold"] == 3.0
+
+
+def test_planner_benchmark_smoke(tmp_path):
+    """Tiny planner run: plumbing, parity verdicts, JSON — no speed gate."""
+    json_path = tmp_path / "BENCH_planner.json"
+    record = run_planner_benchmark(repeats=1, quick=True, json_path=json_path)
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "planner_auto"
+    assert on_disk["gate"]["threshold"] == 1.2
+    assert set(record["scenarios"]) == {"small_dense", "banded_tile", "lowrank_tlr"}
+    for data in record["scenarios"].values():
+        # the planner's choice must execute bit-identically to requesting it
+        # explicitly even in quick mode — only the *speed* gate needs size
+        assert data["bit_identical_to_chosen"]
+        assert data["chosen_method"] in ("dense", "tlr")
+        assert data["elapsed"]["auto"] > 0.0
+        assert data["passed"]
+    assert record["gate"]["passed"]
 
 
 def test_serving_benchmark_rejects_unmixed_workload():
