@@ -1,0 +1,63 @@
+"""Scheduler policy gate — best policy vs FIFO on a multi-Sigma PMVN graph.
+
+The acceptance gate of the scheduler-aware-runtime PR: sweeping every
+scheduling policy over a merged multi-Sigma mixed dense/TLR PMVN task graph
+with the deterministic policy simulator, the best policy must beat FIFO's
+makespan by at least **1.3x** at 8 workers, the simulation must replay
+identically, and real threaded executions must return bit-identical results
+under every policy (scheduling only moves wall time, never numbers).
+
+Measurement protocol (see :mod:`repro.perf.scheduler`): the *real* scheduler
+objects drive the simulated worker pool; cross-worker input fetches pay
+latency + bytes / bandwidth.
+
+Emits ``BENCH_scheduler.json`` at the repository root and a human-readable
+table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import save_table
+from repro.perf.scheduler import SCHEDULER_SPEEDUP_GATE, run_scheduler_benchmark
+from repro.utils.reporting import Table
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+N_WORKERS = 8
+SEED = 3
+
+
+def test_scheduler_policies(benchmark):
+    """Best policy >= 1.3x over FIFO; deterministic replay; bit parity."""
+    record = benchmark.pedantic(
+        lambda: run_scheduler_benchmark(n_workers=N_WORKERS, seed=SEED, json_path=JSON_PATH),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        ["policy", "makespan (s)", "speedup vs fifo", "fetches", "steals", "efficiency"],
+        title=f"scheduling policies, {record['workload']['n_tasks']} tasks, {N_WORKERS} workers",
+    )
+    for policy, data in record["policies"].items():
+        table.add_row([
+            policy, data["makespan_s"], data["speedup_vs_fifo"],
+            data["fetches"], data["steals"], data["parallel_efficiency"],
+        ])
+    save_table(table, "scheduler_policies")
+    print()
+    print(table.render())
+    print(f"wrote {JSON_PATH}")
+
+    gate = record["gate"]
+    assert gate["replay_identical"], "same policy + same graph must replay identically"
+    assert gate["bit_identical_across_policies"], (
+        "policies diverged numerically: " + repr(record["parity"])
+    )
+    assert gate["best_speedup_vs_fifo"] >= SCHEDULER_SPEEDUP_GATE, (
+        f"best policy {gate['best_policy']!r} only {gate['best_speedup_vs_fifo']:.2f}x "
+        f"over FIFO (gate: {SCHEDULER_SPEEDUP_GATE}x)"
+    )
+    assert gate["passed"]
+    assert JSON_PATH.exists()

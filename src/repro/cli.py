@@ -44,6 +44,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.methods import ACCEPTED_METHODS
+from repro.runtime.scheduler import ACCEPTED_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -52,8 +53,8 @@ def _runtime_parent() -> argparse.ArgumentParser:
     """Shared ``--workers`` / ``--policy`` flags for every solver subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--workers", type=int, default=1, help="runtime worker threads")
-    parent.add_argument("--policy", default="prio", choices=["fifo", "prio", "locality"],
-                        help="runtime scheduling policy")
+    parent.add_argument("--policy", default="prio", choices=list(ACCEPTED_POLICIES),
+                        help="runtime scheduling policy (canonical name or alias)")
     return parent
 
 

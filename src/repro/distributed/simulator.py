@@ -1,21 +1,26 @@
-"""Discrete-event cluster simulator (list scheduling with communication).
+"""Discrete-event simulators: list scheduling, and a policy-driven variant.
 
-The simulator executes a symbolic task graph — tasks carry a cost in
-seconds, a home node, the bytes they produce and their dependencies — on a
-:class:`~repro.distributed.cluster.ClusterSpec`:
+Two simulators execute symbolic task graphs — tasks carry a cost in
+seconds, a home node, the bytes they produce and their dependencies:
 
-* every node has ``cores`` execution slots;
-* a task becomes ready when all its dependencies finished *and* their
-  outputs have arrived at the task's node (remote inputs pay
-  latency + bytes / bandwidth);
-* ready tasks are placed on the earliest-free slot of their node in priority
-  order (higher priority first, then submission order), i.e. classic list
-  scheduling.
-
-This is the same level of abstraction StarPU-MPI simulation studies use and
-is enough to reproduce the scaling *shape* of Figure 7: near-linear strong
-scaling of the dense sweep until the per-node tile count gets small, TLR
-ahead of dense by a factor bounded by the sweep share of the runtime.
+* :class:`ClusterSimulator` — classic list scheduling on a
+  :class:`~repro.distributed.cluster.ClusterSpec`: every node has ``cores``
+  execution slots; a task becomes ready when all its dependencies finished
+  *and* their outputs have arrived at the task's pinned node (remote inputs
+  pay latency + bytes / bandwidth); ready tasks run on the earliest-free
+  slot of their node in priority order.  This is the same level of
+  abstraction StarPU-MPI simulation studies use and is enough to reproduce
+  the scaling *shape* of Figure 7.
+* :class:`SchedulerSimulator` — the estee-style policy testbed: the *real*
+  scheduler implementations of :mod:`repro.runtime.scheduler` decide, at
+  every simulated instant, which ready task each worker claims — placement
+  is **not** pinned, so the policies differ both in ordering (FIFO vs
+  priority vs critical-path) and placement (locality/work-stealing vs
+  oblivious).  A task whose inputs were produced on another worker pays a
+  fetch delay (latency + bytes / bandwidth — cross-core cache/NUMA traffic
+  on a shared-memory node).  The simulation is deterministic: the same
+  graph and policy always yield the same makespan and event sequence,
+  which is what ``benchmarks/bench_scheduler.py`` sweeps.
 """
 
 from __future__ import annotations
@@ -28,7 +33,13 @@ import numpy as np
 
 from repro.distributed.cluster import ClusterSpec
 
-__all__ = ["SimTask", "SimulationResult", "ClusterSimulator"]
+__all__ = [
+    "SimTask",
+    "SimulationResult",
+    "ClusterSimulator",
+    "PolicySimResult",
+    "SchedulerSimulator",
+]
 
 
 @dataclass
@@ -153,4 +164,212 @@ class ClusterSimulator:
             communication_seconds=comm_total,
             n_tasks=n_tasks,
             cores_per_node=self.cores_per_node,
+        )
+
+
+@dataclass
+class PolicySimResult:
+    """Outcome of one policy-driven simulated execution.
+
+    ``events`` is the completion-ordered list of ``(task name, worker,
+    start, end)`` tuples — the deterministic replay signature of the run:
+    two simulations of the same graph under the same policy produce equal
+    event lists.
+    """
+
+    policy: str
+    information_mode: str
+    n_workers: int
+    makespan: float
+    worker_busy_time: np.ndarray
+    fetch_seconds: float
+    fetches: int
+    steals: int
+    n_tasks: int
+    events: list[tuple[str, int, float, float]]
+
+    @property
+    def parallel_efficiency(self) -> float:
+        ideal = self.makespan * max(self.n_workers, 1)
+        total = float(self.worker_busy_time.sum())
+        return float(min(1.0, total / ideal)) if ideal > 0 else 1.0
+
+
+class SchedulerSimulator:
+    """Simulate a worker pool driven by a real runtime scheduling policy.
+
+    Parameters
+    ----------
+    n_workers : int
+        Workers (cores) popping from the scheduler.
+    policy : str
+        Policy name resolved by :func:`repro.runtime.scheduler.make_scheduler`.
+    information_mode : {"exact", "estimated", "blind"}
+        What the policy knows about task durations (the *execution* always
+        uses the exact ``SimTask.cost`` — only the scheduler's knowledge
+        varies, as in estee's information-mode axis).
+    fetch_bandwidth_gbs, fetch_latency_us : float
+        Cost of moving a predecessor's output between workers: a task
+        starting on worker ``w`` pays ``latency + bytes / bandwidth`` for
+        every dependency that produced its output on a different worker.
+        Models cross-core cache/NUMA traffic; set the bandwidth to
+        ``float("inf")`` and latency to ``0`` for a communication-free sweep.
+    estimator : TaskEstimator, optional
+        Explicit estimator overriding ``information_mode`` (e.g. one built
+        from a measured calibration).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 8,
+        policy: str = "fifo",
+        information_mode: str = "exact",
+        fetch_bandwidth_gbs: float = 1.0,
+        fetch_latency_us: float = 5.0,
+        estimator=None,
+    ) -> None:
+        from repro.runtime.estimates import make_estimator
+
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if fetch_bandwidth_gbs <= 0 or fetch_latency_us < 0:
+            raise ValueError("fetch parameters must be positive")
+        self.n_workers = int(n_workers)
+        self.policy = policy
+        self.estimator = estimator if estimator is not None else make_estimator(information_mode)
+        self.information_mode = self.estimator.mode
+        self.fetch_bandwidth_gbs = float(fetch_bandwidth_gbs)
+        self.fetch_latency_us = float(fetch_latency_us)
+
+    def _transfer_seconds(self, n_bytes: float) -> float:
+        return self.fetch_latency_us * 1e-6 + n_bytes / (self.fetch_bandwidth_gbs * 1e9)
+
+    def _wrap(self, sim_tasks: list[SimTask]):
+        """Build real Task/TaskGraph objects mirroring the symbolic graph.
+
+        Each task writes one fresh handle whose ``home`` is the symbolic
+        task's node mapped onto the worker pool (the locality hint);
+        dependencies are added explicitly, so the graph seen by the
+        schedulers is exactly the symbolic one.
+        """
+        from repro.runtime.graph import TaskGraph
+        from repro.runtime.handle import WRITE, DataHandle
+        from repro.runtime.task import Task
+
+        graph = TaskGraph()
+        tasks = []
+        for st in sim_tasks:
+            handle = DataHandle(name=st.name, home=st.node % self.n_workers)
+            task = Task(
+                lambda: None,
+                accesses=[(handle, WRITE)],
+                name=st.name,
+                priority=st.priority,
+                cost=st.cost,
+                tag=st.tag,
+            )
+            graph.add_task(task)
+            tasks.append(task)
+        for idx, st in enumerate(sim_tasks):
+            for dep in st.deps:
+                if not (0 <= dep < len(sim_tasks)):
+                    raise ValueError(f"task {st.name!r} depends on unknown task index {dep}")
+                graph.add_dependency(tasks[dep], tasks[idx])
+        return graph, tasks
+
+    def run(self, sim_tasks: list[SimTask], trace=None) -> PolicySimResult:
+        """Simulate ``sim_tasks`` under the configured policy.
+
+        ``trace`` may be an :class:`~repro.runtime.trace.ExecutionTrace`;
+        the scheduler records its push/pop/steal decisions into it (steal
+        counts are derived from there either way).
+        """
+        from repro.runtime.scheduler import make_scheduler
+        from repro.runtime.task import TaskState
+        from repro.runtime.trace import ExecutionTrace, TaskRecord
+
+        n_tasks = len(sim_tasks)
+        if n_tasks == 0:
+            return PolicySimResult(
+                policy=str(self.policy), information_mode=self.information_mode,
+                n_workers=self.n_workers, makespan=0.0,
+                worker_busy_time=np.zeros(self.n_workers), fetch_seconds=0.0,
+                fetches=0, steals=0, n_tasks=0, events=[],
+            )
+        trace = trace if trace is not None else ExecutionTrace()
+        graph, tasks = self._wrap(sim_tasks)
+        scheduler = make_scheduler(
+            self.policy, self.n_workers, estimator=self.estimator, trace=trace
+        )
+        scheduler.prepare(graph, tasks)
+
+        index = {task: i for i, task in enumerate(tasks)}
+        indegree = [len(graph.predecessors[t]) for t in tasks]
+        for task in tasks:
+            if indegree[index[task]] == 0:
+                task.state = TaskState.READY
+                scheduler.push(task)
+
+        clock = 0.0
+        counter = itertools.count()
+        completions: list[tuple[float, int, int, int]] = []  # (end, tie, worker, idx)
+        idle = set(range(self.n_workers))
+        busy = np.zeros(self.n_workers)
+        fetch_total, fetch_count = 0.0, 0
+        events: list[tuple[str, int, float, float]] = []
+        completed = 0
+
+        while completed < n_tasks:
+            # give every idle worker a chance to claim work at the current instant
+            progressed = True
+            while progressed:
+                progressed = False
+                for worker in sorted(idle):
+                    task = scheduler.pop(worker)
+                    if task is None:
+                        continue
+                    idx = index[task]
+                    fetch = 0.0
+                    # sorted so float summation order (and thus the makespan)
+                    # is identical on every replay
+                    for pred in sorted(graph.predecessors[task], key=index.__getitem__):
+                        pred_sim = sim_tasks[index[pred]]
+                        if pred.worker != worker and pred_sim.output_bytes > 0:
+                            fetch += self._transfer_seconds(pred_sim.output_bytes)
+                            fetch_count += 1
+                    start = clock
+                    end = start + fetch + sim_tasks[idx].cost
+                    task.state = TaskState.RUNNING
+                    task.worker = worker
+                    busy[worker] += fetch + sim_tasks[idx].cost
+                    fetch_total += fetch
+                    idle.discard(worker)
+                    heapq.heappush(completions, (end, next(counter), worker, idx))
+                    progressed = True
+            if not completions:
+                raise ValueError(
+                    f"task graph contains a cycle or disconnected dependencies: "
+                    f"completed {completed} of {n_tasks} with no task running"
+                )
+            end, _, worker, idx = heapq.heappop(completions)
+            clock = end
+            task = tasks[idx]
+            task.state = TaskState.DONE
+            completed += 1
+            events.append((task.name, worker, end - (sim_tasks[idx].cost), end))
+            trace.record(TaskRecord(task.name, task.tag, worker, end - sim_tasks[idx].cost, end))
+            idle.add(worker)
+            for succ in sorted(graph.successors[task], key=index.__getitem__):
+                sidx = index[succ]
+                indegree[sidx] -= 1
+                if indegree[sidx] == 0:
+                    succ.state = TaskState.READY
+                    scheduler.push(succ)
+
+        return PolicySimResult(
+            policy=str(self.policy), information_mode=self.information_mode,
+            n_workers=self.n_workers, makespan=clock,
+            worker_busy_time=busy, fetch_seconds=fetch_total,
+            fetches=fetch_count, steals=trace.steal_count(),
+            n_tasks=n_tasks, events=events,
         )

@@ -18,6 +18,7 @@ from repro.perf.machines import MachineSpec, MACHINES, get_machine
 from repro.perf.calibration import CalibrationResult, calibrate
 from repro.perf.hotpath import run_hotpath_benchmark, hotpath_workload
 from repro.perf.planner import run_planner_benchmark, planner_scenarios
+from repro.perf.scheduler import run_scheduler_benchmark, scheduler_workload
 from repro.perf.serving import run_serving_benchmark, serving_workload
 from repro.perf.models import (
     PMVNCostModel,
@@ -37,6 +38,8 @@ __all__ = [
     "hotpath_workload",
     "run_planner_benchmark",
     "planner_scenarios",
+    "run_scheduler_benchmark",
+    "scheduler_workload",
     "run_serving_benchmark",
     "serving_workload",
     "PMVNCostModel",

@@ -1,0 +1,226 @@
+"""Scheduler policy benchmark (the runtime perf gate).
+
+:func:`run_scheduler_benchmark` sweeps every scheduling policy of
+:mod:`repro.runtime.scheduler` over a **multi-Sigma mixed dense/TLR** PMVN
+workload — several covariances of different sizes factorized and integrated
+concurrently, the shape a batch/serving deployment feeds the runtime — using
+the deterministic :class:`~repro.distributed.simulator.SchedulerSimulator`
+(the *real* scheduler objects decide every placement; a task whose inputs
+were produced on another worker pays a fetch delay).
+
+Three properties are checked and recorded:
+
+* **speedup** — the best policy's simulated makespan must beat FIFO by at
+  least :data:`SCHEDULER_SPEEDUP_GATE` x at 8+ workers (quick mode skips the
+  gate, not the sweep);
+* **replay determinism** — simulating the same graph twice under the same
+  policy yields the identical makespan and event sequence;
+* **numerical parity** — a real (threaded) PMVN evaluation returns
+  bit-identical probability and error estimates under every policy:
+  scheduling reorders execution only within the freedom the dependency
+  edges allow, so it must never change results.
+
+Emits ``BENCH_scheduler.json`` at the repository root (see
+``benchmarks/bench_scheduler.py`` for the pytest-benchmark runner).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "run_scheduler_benchmark",
+    "scheduler_workload",
+    "SCHEDULER_SPEEDUP_GATE",
+    "SCHEDULER_POLICIES",
+]
+
+#: acceptance threshold: FIFO makespan / best policy makespan
+SCHEDULER_SPEEDUP_GATE = 1.3
+
+#: canonical policy names swept by the benchmark (FIFO is the baseline)
+SCHEDULER_POLICIES = ("fifo", "prio", "locality", "blevel", "worksteal")
+
+#: information modes swept for the duration-aware critical-path policy
+_INFO_MODES = ("exact", "estimated", "blind")
+
+#: cross-worker fetch model: per-core cache/NUMA traffic on a shared-memory
+#: node (a 64x64 tile is ~32 KiB, so a fetch costs a few tens of µs)
+_FETCH_BANDWIDTH_GBS = 1.0
+_FETCH_LATENCY_US = 5.0
+
+
+def _mixed_specs(quick: bool) -> list[dict]:
+    """The multi-Sigma suite: one dense mid-size field, two TLR fields."""
+    if quick:
+        return [
+            dict(n=256, n_samples=256, tile_size=64, method="tlr", chain_block=128),
+            dict(n=192, n_samples=192, tile_size=64, method="dense", chain_block=96),
+            dict(n=256, n_samples=192, tile_size=64, method="tlr", chain_block=96),
+        ]
+    return [
+        dict(n=2048, n_samples=2048, tile_size=64, method="tlr", chain_block=256),
+        dict(n=1024, n_samples=1024, tile_size=64, method="dense", chain_block=128),
+        dict(n=1536, n_samples=1536, tile_size=64, method="tlr", chain_block=192),
+    ]
+
+
+def scheduler_workload(n_workers: int = 8, quick: bool = False) -> list:
+    """The benchmark task graph: several PMVN problems merged into one DAG.
+
+    Each covariance contributes its full tiled pipeline (Cholesky panels,
+    triangular solves, GEMM updates, QMC sweep blocks); dependency indices
+    are offset so the merged list is one valid
+    :class:`~repro.distributed.simulator.SimTask` graph.  Homes follow each
+    problem's block-cyclic tile ownership mapped onto the worker pool.
+    """
+    from repro.distributed.cluster import ClusterSpec
+    from repro.distributed.pmvn_model import KernelRates, build_pmvn_task_graph
+
+    cluster = ClusterSpec(n_nodes=max(int(n_workers), 1))
+    rates = KernelRates()
+    merged: list = []
+    for i, spec in enumerate(_mixed_specs(quick)):
+        graph = build_pmvn_task_graph(cluster=cluster, rates=rates, **spec)
+        offset = len(merged)
+        for task in graph:
+            task.deps = [d + offset for d in task.deps]
+            task.name = f"S{i}:{task.name}"
+        merged.extend(graph)
+    return merged
+
+
+def _simulate(tasks, n_workers: int, policy: str, information_mode: str = "exact"):
+    from repro.distributed.simulator import SchedulerSimulator
+
+    sim = SchedulerSimulator(
+        n_workers=n_workers,
+        policy=policy,
+        information_mode=information_mode,
+        fetch_bandwidth_gbs=_FETCH_BANDWIDTH_GBS,
+        fetch_latency_us=_FETCH_LATENCY_US,
+    )
+    return sim.run(tasks)
+
+
+def _parity_suite(seed: int, quick: bool) -> dict[str, dict]:
+    """Real threaded executions: every policy must agree bit-for-bit."""
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+    from repro.solver import MVNSolver, SolverConfig
+
+    n = 64 if quick else 144
+    n_samples = 200 if quick else 500
+    side = int(np.ceil(np.sqrt(n)))
+    geom = Geometry.regular_grid(side, side)
+    sigma = build_covariance(ExponentialKernel(1.0, 0.2), geom.locations[:n], nugget=1e-6)
+    rng = np.random.default_rng(seed)
+    a = np.full(n, -np.inf)
+    b = rng.uniform(0.5, 2.5, n)
+
+    out: dict[str, dict] = {}
+    for policy in SCHEDULER_POLICIES:
+        config = SolverConfig(method="dense", n_samples=n_samples, policy=policy)
+        with MVNSolver(config, n_workers=4) as solver:
+            result = solver.model(sigma).probability(a, b, rng=seed)
+        out[policy] = {"probability": result.probability, "error": result.error}
+    return out
+
+
+def run_scheduler_benchmark(
+    n_workers: int = 8,
+    seed: int = 3,
+    quick: bool = False,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Run the policy sweep and return the benchmark record.
+
+    Parameters
+    ----------
+    n_workers : int
+        Simulated worker pool (the gate is specified at 8+ workers).
+    seed : int
+        Box/QMC seed of the real-execution parity suite.
+    quick : bool
+        Tiny graph and parity problem, speed gate skipped — the
+        ``perf_smoke`` tier-1 mode.
+    json_path : path, optional
+        When given, the record is also written there as JSON.
+    """
+    tasks = scheduler_workload(n_workers=n_workers, quick=quick)
+
+    policies: dict[str, dict] = {}
+    for policy in SCHEDULER_POLICIES:
+        result = _simulate(tasks, n_workers, policy)
+        policies[policy] = {
+            "makespan_s": result.makespan,
+            "fetch_s": result.fetch_seconds,
+            "fetches": result.fetches,
+            "steals": result.steals,
+            "parallel_efficiency": result.parallel_efficiency,
+        }
+    fifo = policies["fifo"]["makespan_s"]
+    for data in policies.values():
+        data["speedup_vs_fifo"] = fifo / data["makespan_s"]
+    best_policy = min(policies, key=lambda p: policies[p]["makespan_s"])
+    best_speedup = policies[best_policy]["speedup_vs_fifo"]
+
+    # replay determinism: same graph, same policy, identical outcome
+    first = _simulate(tasks, n_workers, best_policy)
+    second = _simulate(tasks, n_workers, best_policy)
+    replay_identical = (
+        first.makespan == second.makespan and first.events == second.events
+    )
+
+    # information modes: how much of blevel's win survives model estimates
+    info_modes = {
+        mode: _simulate(tasks, n_workers, "blevel", mode).makespan
+        for mode in _INFO_MODES
+    }
+
+    parity = _parity_suite(seed, quick)
+    reference = parity["fifo"]
+    bit_identical = all(
+        data["probability"] == reference["probability"]
+        and data["error"] == reference["error"]
+        for data in parity.values()
+    )
+
+    gate_passed = bool(
+        replay_identical
+        and bit_identical
+        and (quick or best_speedup >= SCHEDULER_SPEEDUP_GATE)
+    )
+    record = {
+        "benchmark": "scheduler_policies",
+        "machine": {"python": platform.python_version(), "platform": platform.platform()},
+        "workload": {
+            "n_tasks": len(tasks),
+            "n_workers": n_workers,
+            "fetch_bandwidth_gbs": _FETCH_BANDWIDTH_GBS,
+            "fetch_latency_us": _FETCH_LATENCY_US,
+            "quick": quick,
+        },
+        "gate": {
+            "metric": "FIFO makespan / best policy makespan, simulated",
+            "threshold": SCHEDULER_SPEEDUP_GATE,
+            "quick": quick,
+            "best_policy": best_policy,
+            "best_speedup_vs_fifo": best_speedup,
+            "replay_identical": replay_identical,
+            "bit_identical_across_policies": bit_identical,
+            "passed": gate_passed,
+        },
+        "policies": policies,
+        "blevel_information_modes": {m: {"makespan_s": v} for m, v in info_modes.items()},
+        "parity": parity,
+    }
+
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

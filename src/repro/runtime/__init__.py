@@ -11,27 +11,50 @@ programming model in pure Python:
   callable and a set of handle accesses.
 * :class:`~repro.runtime.graph.TaskGraph` — the DAG built by
   *sequential task flow* dependency inference (RAW/WAR/WAW).
-* :class:`~repro.runtime.scheduler.Scheduler` implementations — serial,
-  FIFO, priority and locality-aware ready queues.
+* :class:`~repro.runtime.scheduler.SchedulerBase` implementations — FIFO,
+  priority, locality-aware, critical-path (b-level) and work-stealing ready
+  queues, resolved through one alias table
+  (:func:`~repro.runtime.scheduler.make_scheduler`).
+* :mod:`repro.runtime.estimates` — information modes: what a scheduler
+  knows about task durations (exact costs, calibrated per-tag model
+  estimates, or nothing).
 * :class:`~repro.runtime.runtime.Runtime` — the user-facing facade with
   ``insert_task`` / ``wait_all`` semantics, executing the DAG on a pool of
   worker threads (NumPy/BLAS kernels release the GIL so tile tasks overlap).
-* :class:`~repro.runtime.trace.ExecutionTrace` — per-task timing records,
-  used to report parallel efficiency and per-phase breakdowns.
+* :class:`~repro.runtime.trace.ExecutionTrace` — per-task timing records
+  plus per-decision scheduling events (queue depth, steals, placement
+  reasons), used to report parallel efficiency and per-phase breakdowns.
+
+See ``docs/runtime.md`` for the policy table and guidance on choosing one.
 """
 
 from repro.runtime.handle import AccessMode, DataHandle, READ, WRITE, READWRITE
 from repro.runtime.task import Task, TaskError, TaskState
 from repro.runtime.graph import TaskGraph
+from repro.runtime.estimates import (
+    INFORMATION_MODES,
+    BlindEstimator,
+    ExactEstimator,
+    ModelEstimator,
+    TaskEstimator,
+    make_estimator,
+)
 from repro.runtime.scheduler import (
+    ACCEPTED_POLICIES,
+    POLICIES,
+    POLICY_ALIASES,
+    BLevelScheduler,
     FifoScheduler,
     LocalityScheduler,
     PriorityScheduler,
     Scheduler,
+    SchedulerBase,
+    WorkStealScheduler,
+    canonical_policy,
     make_scheduler,
 )
 from repro.runtime.runtime import Runtime
-from repro.runtime.trace import ExecutionTrace, TaskRecord
+from repro.runtime.trace import ExecutionTrace, SchedEvent, TaskRecord
 
 __all__ = [
     "AccessMode",
@@ -43,12 +66,26 @@ __all__ = [
     "TaskError",
     "TaskState",
     "TaskGraph",
+    "INFORMATION_MODES",
+    "TaskEstimator",
+    "ExactEstimator",
+    "ModelEstimator",
+    "BlindEstimator",
+    "make_estimator",
     "Scheduler",
+    "SchedulerBase",
     "FifoScheduler",
     "PriorityScheduler",
     "LocalityScheduler",
+    "BLevelScheduler",
+    "WorkStealScheduler",
+    "POLICIES",
+    "POLICY_ALIASES",
+    "ACCEPTED_POLICIES",
+    "canonical_policy",
     "make_scheduler",
     "Runtime",
     "ExecutionTrace",
+    "SchedEvent",
     "TaskRecord",
 ]

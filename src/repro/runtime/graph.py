@@ -119,6 +119,22 @@ class TaskGraph:
     def total_work(self, cost=lambda t: max(t.cost, 1.0)) -> float:
         return sum(cost(t) for t in self.tasks)
 
+    def blevels(self, duration=lambda t: max(t.cost, 1.0)) -> dict[Task, float]:
+        """Bottom levels (upward ranks) of every task under a duration model.
+
+        ``blevel(t) = duration(t) + max(blevel(s) for s in successors(t))`` —
+        the length of the longest dependency chain from ``t`` to any sink.
+        Scheduling ready tasks by decreasing b-level is the classic
+        critical-path-first heuristic (HEFT's upward rank with zero
+        communication); :class:`repro.runtime.scheduler.BLevelScheduler`
+        uses exactly this map.
+        """
+        levels: dict[Task, float] = {}
+        for task in reversed(self.topological_order()):
+            downstream = max((levels[s] for s in self.successors[task]), default=0.0)
+            levels[task] = duration(task) + downstream
+        return levels
+
     def validate(self) -> None:
         """Check internal consistency (edges reference known tasks, acyclic)."""
         known = set(self.tasks)

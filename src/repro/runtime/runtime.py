@@ -24,9 +24,10 @@ import time
 from collections import deque
 from typing import Any, Callable, Iterable
 
+from repro.runtime.estimates import INFORMATION_MODES, TaskEstimator, make_estimator
 from repro.runtime.graph import TaskGraph
 from repro.runtime.handle import AccessMode, DataHandle
-from repro.runtime.scheduler import Scheduler, make_scheduler
+from repro.runtime.scheduler import SchedulerBase, canonical_policy, make_scheduler
 from repro.runtime.task import Task, TaskError, TaskState
 from repro.runtime.trace import ExecutionTrace, TaskRecord
 
@@ -43,12 +44,23 @@ class Runtime:
         sequentially in topological order with no threading overhead, which
         is also the deterministic mode used by most unit tests.
     policy : str
-        Scheduling policy name understood by
+        Scheduling policy name or alias understood by
         :func:`repro.runtime.scheduler.make_scheduler` (``"fifo"``,
-        ``"prio"``, ``"locality"``).
+        ``"prio"``, ``"locality"``, ``"blevel"``, ``"worksteal"``; see
+        ``docs/runtime.md`` for the policy table).  Canonicalized at
+        construction.
     trace : bool
         Record an :class:`~repro.runtime.trace.ExecutionTrace` of task
-        start/end times and worker assignment.
+        start/end times, worker assignment, and every scheduling decision
+        (queue depths, steals, placement reasons).
+    information_mode : {"exact", "estimated", "blind"}
+        What duration-aware policies (``blevel``) know about task costs:
+        trust ``Task.cost``, predict from the calibrated per-tag cost model,
+        or nothing (see :mod:`repro.runtime.estimates`).
+    estimator : TaskEstimator, optional
+        Explicit estimator instance overriding ``information_mode`` — e.g.
+        ``ModelEstimator.from_calibration(calibrate())`` for estimates
+        anchored to measured local kernel rates.
 
     Notes
     -----
@@ -65,11 +77,27 @@ class Runtime:
     #: — and the argument buffers its closures reference — forever
     EXECUTED_HISTORY = 1024
 
-    def __init__(self, n_workers: int = 1, policy: str = "prio", trace: bool = False) -> None:
+    def __init__(
+        self,
+        n_workers: int = 1,
+        policy: str = "prio",
+        trace: bool = False,
+        information_mode: str = "exact",
+        estimator: TaskEstimator | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
-        self.policy = policy
+        self.policy = canonical_policy(policy)
+        if estimator is None:
+            if information_mode not in INFORMATION_MODES:
+                raise ValueError(
+                    f"unknown information mode {information_mode!r}; "
+                    f"expected one of {INFORMATION_MODES}"
+                )
+            estimator = make_estimator(information_mode)
+        self.estimator = estimator
+        self.information_mode = self.estimator.mode
         self.graph = TaskGraph()
         self.trace: ExecutionTrace | None = ExecutionTrace() if trace else None
         self._executed: deque[Task] = deque(maxlen=self.EXECUTED_HISTORY)
@@ -203,7 +231,10 @@ class Runtime:
 
     # -- threaded execution ------------------------------------------------------
     def _run_threaded(self, pending: list[Task]) -> list[tuple[Task, BaseException]]:
-        scheduler: Scheduler = make_scheduler(self.policy, self.n_workers)
+        scheduler: SchedulerBase = make_scheduler(
+            self.policy, self.n_workers, estimator=self.estimator, trace=self.trace
+        )
+        scheduler.prepare(self.graph, pending)
         graph = self.graph
         indegree = {t: sum(1 for p in graph.predecessors[t] if p.state == TaskState.PENDING) for t in pending}
         lock = threading.Lock()

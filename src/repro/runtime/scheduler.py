@@ -1,15 +1,35 @@
-"""Ready-task scheduling policies.
+"""Pluggable ready-task scheduling policies (estee-style ``SchedulerBase``).
 
-StarPU ships several scheduling policies (eager, prio, dmda/locality-aware).
-The runtime here exposes the same choice through small ready-queue classes:
+StarPU ships several scheduling policies (eager, prio, dmda); scheduler
+surveys such as estee additionally separate a policy's *decision rule* from
+its *information mode* (what it knows about task durations).  The runtime
+mirrors that architecture:
 
-* :class:`FifoScheduler` — eager first-come-first-served queue.
-* :class:`PriorityScheduler` — highest ``Task.priority`` first, ties broken by
-  submission order (keeps the Cholesky critical path moving).
-* :class:`LocalityScheduler` — priority queue that additionally prefers tasks
-  whose written handles have a ``home`` matching the requesting worker,
-  modelling cache/NUMA affinity.
+* :class:`SchedulerBase` — thread-safe push/pop skeleton with an explicit
+  :class:`~repro.runtime.estimates.TaskEstimator` (exact vs. model-estimated
+  vs. blind durations), an optional ``prepare(graph)`` hook for policies
+  that rank tasks globally, and per-decision
+  :class:`~repro.runtime.trace.SchedEvent` recording (queue depth, steal
+  events, placement reason).
+* :class:`FifoScheduler` — eager first-come-first-served (StarPU ``eager``).
+* :class:`PriorityScheduler` — highest ``Task.priority`` first, ties broken
+  by submission order (StarPU ``prio``).
+* :class:`LocalityScheduler` — priority queues per worker keyed on the
+  ``home`` of a task's written handles, stealing from the most loaded peer
+  (a lightweight ``dmda``).
+* :class:`BLevelScheduler` — critical-path-first: ready tasks ordered by
+  their bottom level (HEFT upward rank) computed from the task graph under
+  the estimator's durations.
+* :class:`WorkStealScheduler` — per-worker deques with locality-aware
+  placement: a task follows the ``home`` of its written handle, or the
+  worker that executed its predecessor (keeping a tile's factor and its
+  GEMM updates together); idle workers steal the oldest task of the most
+  loaded victim.
 
+Policy names are resolved through one alias table
+(:data:`POLICY_ALIASES`); :func:`canonical_policy` and
+:func:`make_scheduler` are the single entry points used by
+:class:`~repro.runtime.runtime.Runtime`, ``SolverConfig`` and the CLI.
 All schedulers are thread-safe: the worker pool pops tasks concurrently.
 """
 
@@ -20,92 +40,218 @@ import itertools
 import threading
 from collections import deque
 
+from repro.runtime.estimates import ExactEstimator, TaskEstimator
 from repro.runtime.task import Task
+from repro.runtime.trace import ExecutionTrace, SchedEvent
 
 __all__ = [
+    "SchedulerBase",
     "Scheduler",
     "FifoScheduler",
     "PriorityScheduler",
     "LocalityScheduler",
+    "BLevelScheduler",
+    "WorkStealScheduler",
+    "POLICIES",
+    "POLICY_ALIASES",
+    "ACCEPTED_POLICIES",
+    "canonical_policy",
     "make_scheduler",
 ]
 
 
-class Scheduler:
-    """Base class for ready-task queues."""
+class SchedulerBase:
+    """Base class for ready-task schedulers.
 
-    def push(self, task: Task) -> None:
-        raise NotImplementedError
+    Parameters
+    ----------
+    n_workers : int
+        Size of the worker pool popping from this scheduler.
+    estimator : TaskEstimator, optional
+        The information mode: how the scheduler predicts task durations
+        (default: exact ``Task.cost``).  Only duration-aware policies
+        consult it.
+    trace : ExecutionTrace, optional
+        When given, every push/pop/steal decision is recorded as a
+        :class:`~repro.runtime.trace.SchedEvent`.
 
-    def pop(self, worker: int = 0) -> Task | None:
-        """Pop the next task for ``worker``; ``None`` if the queue is empty."""
-        raise NotImplementedError
-
-    def __len__(self) -> int:
-        raise NotImplementedError
-
-
-class FifoScheduler(Scheduler):
-    """Eager FIFO policy (StarPU's ``eager``)."""
-
-    def __init__(self) -> None:
-        self._queue: deque[Task] = deque()
-        self._lock = threading.Lock()
-
-    def push(self, task: Task) -> None:
-        with self._lock:
-            self._queue.append(task)
-
-    def pop(self, worker: int = 0) -> Task | None:
-        with self._lock:
-            if not self._queue:
-                return None
-            return self._queue.popleft()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._queue)
-
-
-class PriorityScheduler(Scheduler):
-    """Highest-priority-first policy (StarPU's ``prio``)."""
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Task]] = []
-        self._lock = threading.Lock()
-        self._tie = itertools.count()
-
-    def push(self, task: Task) -> None:
-        with self._lock:
-            heapq.heappush(self._heap, (-task.priority, next(self._tie), task))
-
-    def pop(self, worker: int = 0) -> Task | None:
-        with self._lock:
-            if not self._heap:
-                return None
-            return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._heap)
-
-
-class LocalityScheduler(Scheduler):
-    """Priority policy with per-worker affinity queues.
-
-    A task is routed to the queue of the ``home`` worker of its first written
-    handle (when set).  Workers prefer their own queue and steal from a shared
-    queue — a lightweight approximation of StarPU's data-aware policies.
+    Notes
+    -----
+    Subclasses implement the unlocked hooks ``_push``, ``_pop`` (returning
+    ``(task, reason)``) and ``_size``; the public methods take the lock and
+    record trace events.  Policies that rank tasks globally (``blevel``,
+    ``worksteal``) additionally override ``_prepare``, called by the
+    runtime with the full task graph before execution starts.
     """
 
-    def __init__(self, n_workers: int) -> None:
+    #: canonical policy name (set on concrete subclasses)
+    name = "base"
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        estimator: TaskEstimator | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
-        self.n_workers = n_workers
-        self._local: list[list[tuple[int, int, Task]]] = [[] for _ in range(n_workers)]
-        self._shared: list[tuple[int, int, Task]] = []
+        self.n_workers = int(n_workers)
+        self.estimator = estimator if estimator is not None else ExactEstimator()
+        self.trace = trace
         self._lock = threading.Lock()
         self._tie = itertools.count()
+
+    # -- public API (locked) -----------------------------------------------------
+    def prepare(self, graph, tasks: list[Task] | None = None) -> None:
+        """Give the policy the task graph before execution (optional).
+
+        ``graph`` is a :class:`~repro.runtime.graph.TaskGraph`; ``tasks``
+        restricts preparation to the pending subset (default: all graph
+        tasks).  Policies that do not rank globally ignore this.
+        """
+        with self._lock:
+            self._prepare(graph, graph.tasks if tasks is None else tasks)
+
+    def push(self, task: Task) -> None:
+        """Queue a ready task."""
+        with self._lock:
+            reason = self._push(task)
+            self._record("push", task, worker=-1, reason=reason or "")
+
+    def pop(self, worker: int = 0) -> Task | None:
+        """Pop the next task for ``worker``; ``None`` if nothing is queued."""
+        with self._lock:
+            task, reason = self._pop(worker % self.n_workers)
+            if task is not None:
+                kind = "steal" if reason.startswith("steal") else "pop"
+                self._record(kind, task, worker=worker % self.n_workers, reason=reason)
+            return task
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size()
+
+    def _record(self, kind: str, task: Task, worker: int, reason: str) -> None:
+        if self.trace is not None:
+            self.trace.record_sched(
+                SchedEvent(kind=kind, task=task.name, worker=worker,
+                           queue_depth=self._size(), reason=reason)
+            )
+
+    # -- subclass hooks (called with the lock held) ------------------------------
+    def _prepare(self, graph, tasks: list[Task]) -> None:
+        pass
+
+    def _push(self, task: Task) -> str:
+        raise NotImplementedError
+
+    def _pop(self, worker: int) -> tuple[Task | None, str]:
+        raise NotImplementedError
+
+    def _size(self) -> int:
+        raise NotImplementedError
+
+
+#: backwards-compatible name — the seed called the base class ``Scheduler``
+Scheduler = SchedulerBase
+
+
+class FifoScheduler(SchedulerBase):
+    """Eager FIFO policy (StarPU's ``eager``): no priorities, no placement."""
+
+    name = "fifo"
+
+    def __init__(self, n_workers: int = 1, estimator=None, trace=None) -> None:
+        super().__init__(n_workers, estimator, trace)
+        self._queue: deque[Task] = deque()
+
+    def _push(self, task: Task) -> str:
+        self._queue.append(task)
+        return "fifo"
+
+    def _pop(self, worker: int) -> tuple[Task | None, str]:
+        if not self._queue:
+            return None, ""
+        return self._queue.popleft(), "fifo"
+
+    def _size(self) -> int:
+        return len(self._queue)
+
+
+class PriorityScheduler(SchedulerBase):
+    """Highest-priority-first policy (StarPU's ``prio``)."""
+
+    name = "prio"
+
+    def __init__(self, n_workers: int = 1, estimator=None, trace=None) -> None:
+        super().__init__(n_workers, estimator, trace)
+        self._heap: list[tuple[int, int, Task]] = []
+
+    def _push(self, task: Task) -> str:
+        heapq.heappush(self._heap, (-task.priority, next(self._tie), task))
+        return "prio"
+
+    def _pop(self, worker: int) -> tuple[Task | None, str]:
+        if not self._heap:
+            return None, ""
+        return heapq.heappop(self._heap)[2], "prio"
+
+    def _size(self) -> int:
+        return len(self._heap)
+
+
+class BLevelScheduler(SchedulerBase):
+    """Critical-path-first: ready tasks ordered by bottom level.
+
+    :meth:`prepare` computes every task's bottom level (HEFT upward rank)
+    from the task graph under the estimator's durations — this is where the
+    information mode matters: with an ``"exact"`` estimator the ranks use
+    true costs, with ``"estimated"`` the calibrated per-tag model, with
+    ``"blind"`` the policy degrades to deepest-first.  Ties break on
+    ``Task.priority``, then submission order.  Tasks pushed without a
+    preceding ``prepare`` (unknown to the rank map) fall back to rank 0,
+    i.e. plain priority order.
+    """
+
+    name = "blevel"
+
+    def __init__(self, n_workers: int = 1, estimator=None, trace=None) -> None:
+        super().__init__(n_workers, estimator, trace)
+        self._heap: list[tuple[float, int, int, Task]] = []
+        self._blevel: dict[Task, float] = {}
+
+    def _prepare(self, graph, tasks: list[Task]) -> None:
+        self._blevel = graph.blevels(self.estimator.duration)
+
+    def _push(self, task: Task) -> str:
+        rank = self._blevel.get(task, 0.0)
+        heapq.heappush(self._heap, (-rank, -task.priority, next(self._tie), task))
+        return "blevel"
+
+    def _pop(self, worker: int) -> tuple[Task | None, str]:
+        if not self._heap:
+            return None, ""
+        return heapq.heappop(self._heap)[3], "blevel"
+
+    def _size(self) -> int:
+        return len(self._heap)
+
+
+class LocalityScheduler(SchedulerBase):
+    """Priority policy with per-worker affinity queues.
+
+    A task is routed to the queue of the ``home`` worker of its first
+    written handle (when set).  Workers drain their own queue first, then
+    the shared queue, and finally steal from the most loaded peer — a
+    lightweight approximation of StarPU's data-aware policies.
+    """
+
+    name = "locality"
+
+    def __init__(self, n_workers: int = 1, estimator=None, trace=None) -> None:
+        super().__init__(n_workers, estimator, trace)
+        self._local: list[list[tuple[int, int, Task]]] = [[] for _ in range(self.n_workers)]
+        self._shared: list[tuple[int, int, Task]] = []
 
     def _target_queue(self, task: Task) -> int | None:
         for handle in task.written_handles():
@@ -113,49 +259,169 @@ class LocalityScheduler(Scheduler):
                 return handle.home % self.n_workers
         return None
 
-    def push(self, task: Task) -> None:
+    def _push(self, task: Task) -> str:
         entry = (-task.priority, next(self._tie), task)
         target = self._target_queue(task)
-        with self._lock:
-            if target is None:
-                heapq.heappush(self._shared, entry)
-            else:
-                heapq.heappush(self._local[target], entry)
+        if target is None:
+            heapq.heappush(self._shared, entry)
+            return "shared"
+        heapq.heappush(self._local[target], entry)
+        return f"home:{target}"
 
-    def pop(self, worker: int = 0) -> Task | None:
-        worker = worker % self.n_workers
-        with self._lock:
-            if self._local[worker]:
-                return heapq.heappop(self._local[worker])[2]
-            if self._shared:
-                return heapq.heappop(self._shared)[2]
-            # steal from the most loaded peer
-            victim = max(range(self.n_workers), key=lambda w: len(self._local[w]))
-            if self._local[victim]:
-                return heapq.heappop(self._local[victim])[2]
-            return None
+    def _pop(self, worker: int) -> tuple[Task | None, str]:
+        if self._local[worker]:
+            return heapq.heappop(self._local[worker])[2], "local"
+        if self._shared:
+            return heapq.heappop(self._shared)[2], "shared"
+        # steal from the most loaded peer
+        victim = max(range(self.n_workers), key=lambda w: len(self._local[w]))
+        if self._local[victim]:
+            return heapq.heappop(self._local[victim])[2], f"steal:{victim}"
+        return None, ""
 
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._shared) + sum(len(q) for q in self._local)
+    def _size(self) -> int:
+        return len(self._shared) + sum(len(q) for q in self._local)
 
 
-def make_scheduler(policy: str, n_workers: int = 1) -> Scheduler:
+class WorkStealScheduler(SchedulerBase):
+    """Work stealing with locality-aware placement.
+
+    Placement (at push time):
+
+    1. the worker that executed one of the task's predecessors
+       (``affinity:N``) — this keeps a tile's factorization and the GEMM
+       updates reading it on one worker, chaining through whole dependency
+       paths such as the per-block integration sweep (requires
+       :meth:`prepare`, which supplies the graph);
+    2. otherwise the ``home`` worker of the task's first written handle,
+       when set (``home:N``) — the static hint, used for root tasks that
+       have no executed predecessor yet;
+    3. otherwise a shared queue (``shared``).
+
+    Workers pop their own deque newest-first (depth-first, cache-warm),
+    drain the shared queue, and steal the *oldest* task of the most loaded
+    victim — the classic deque discipline, so stolen work is the least
+    likely to be locality-sensitive.
+    """
+
+    name = "worksteal"
+
+    def __init__(self, n_workers: int = 1, estimator=None, trace=None) -> None:
+        super().__init__(n_workers, estimator, trace)
+        self._local: list[deque[Task]] = [deque() for _ in range(self.n_workers)]
+        self._shared: deque[Task] = deque()
+        self._graph = None
+
+    def _prepare(self, graph, tasks: list[Task]) -> None:
+        self._graph = graph
+
+    def _placement(self, task: Task) -> tuple[int | None, str]:
+        if self._graph is not None:
+            # sorted by submission order so the chosen predecessor (and with
+            # it the whole placement) is deterministic across runs
+            for pred in sorted(self._graph.predecessors.get(task, ()), key=lambda t: t.uid):
+                if pred.worker is not None:
+                    target = pred.worker % self.n_workers
+                    return target, f"affinity:{target}"
+        for handle in task.written_handles():
+            if handle.home is not None:
+                target = handle.home % self.n_workers
+                return target, f"home:{target}"
+        return None, "shared"
+
+    def _push(self, task: Task) -> str:
+        target, reason = self._placement(task)
+        if target is None:
+            self._shared.append(task)
+        else:
+            self._local[target].append(task)
+        return reason
+
+    def _pop(self, worker: int) -> tuple[Task | None, str]:
+        if self._local[worker]:
+            return self._local[worker].pop(), "local"
+        if self._shared:
+            return self._shared.popleft(), "shared"
+        victim = max(range(self.n_workers), key=lambda w: len(self._local[w]))
+        if self._local[victim]:
+            return self._local[victim].popleft(), f"steal:{victim}"
+        return None, ""
+
+    def _size(self) -> int:
+        return len(self._shared) + sum(len(q) for q in self._local)
+
+
+#: canonical policy name -> scheduler class
+POLICIES: dict[str, type[SchedulerBase]] = {
+    "fifo": FifoScheduler,
+    "prio": PriorityScheduler,
+    "locality": LocalityScheduler,
+    "blevel": BLevelScheduler,
+    "worksteal": WorkStealScheduler,
+}
+
+#: accepted name (alias or canonical) -> canonical policy name
+POLICY_ALIASES: dict[str, str] = {
+    "fifo": "fifo",
+    "eager": "fifo",
+    "prio": "prio",
+    "priority": "prio",
+    "locality": "locality",
+    "dmda": "locality",
+    "blevel": "blevel",
+    "b-level": "blevel",
+    "critical-path": "blevel",
+    "heft": "blevel",
+    "worksteal": "worksteal",
+    "ws": "worksteal",
+    "steal": "worksteal",
+}
+
+#: every name the ``policy=`` knobs accept, sorted (CLI choices, docs)
+ACCEPTED_POLICIES: tuple[str, ...] = tuple(sorted(POLICY_ALIASES))
+
+
+def canonical_policy(policy: str) -> str:
+    """Resolve a policy name or alias to its canonical name (or raise)."""
+    name = str(policy).strip().lower()
+    try:
+        return POLICY_ALIASES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; accepted names: "
+            f"{', '.join(ACCEPTED_POLICIES)}"
+        ) from None
+
+
+def make_scheduler(
+    policy: str,
+    n_workers: int = 1,
+    estimator: TaskEstimator | None = None,
+    trace: ExecutionTrace | None = None,
+) -> SchedulerBase:
     """Factory mapping a policy name to a scheduler instance.
 
     Parameters
     ----------
-    policy : {"fifo", "eager", "prio", "priority", "locality", "dmda"}
-        Scheduling policy name.  ``eager`` is an alias of ``fifo``; ``dmda``
-        is an alias of ``locality`` to mirror the StarPU naming.
+    policy : str
+        Canonical policy name or alias.  The full table (see
+        :data:`POLICY_ALIASES`):
+
+        ========= ==============================================
+        canonical aliases
+        ========= ==============================================
+        fifo      eager
+        prio      priority
+        locality  dmda
+        blevel    b-level, critical-path, heft
+        worksteal ws, steal
+        ========= ==============================================
     n_workers : int
-        Worker count, required by the locality policy.
+        Worker count, used by the per-worker-queue policies.
+    estimator : TaskEstimator, optional
+        Information mode (see :mod:`repro.runtime.estimates`).
+    trace : ExecutionTrace, optional
+        Record scheduling decisions into this trace.
     """
-    policy = policy.lower()
-    if policy in ("fifo", "eager"):
-        return FifoScheduler()
-    if policy in ("prio", "priority"):
-        return PriorityScheduler()
-    if policy in ("locality", "dmda", "ws"):
-        return LocalityScheduler(n_workers)
-    raise ValueError(f"unknown scheduling policy {policy!r}")
+    cls = POLICIES[canonical_policy(policy)]
+    return cls(n_workers=n_workers, estimator=estimator, trace=trace)

@@ -1,4 +1,4 @@
-"""Execution traces: who ran what, when.
+"""Execution traces: who ran what, when — and why the scheduler chose it.
 
 The trace is the runtime's FxT-like instrumentation.  It records one
 :class:`TaskRecord` per executed task and derives summary statistics
@@ -6,15 +6,22 @@ The trace is the runtime's FxT-like instrumentation.  It records one
 the benchmarks use to report where time goes — e.g. the paper's observation
 that in the distributed setting the QMC sweep dominates over the Cholesky,
 which caps the TLR speedup at 1.3–1.8x.
+
+Scheduling decisions are recorded separately as :class:`SchedEvent` entries:
+every ``push`` carries the ready-queue depth at submission, every ``pop``
+the placement reason (``local``/``shared``/``home``/``affinity``), and every
+cross-worker steal is tagged ``steal`` with its victim.  The policy
+benchmark (``benchmarks/bench_scheduler.py``) and the scheduler test
+harness read these to explain *why* a policy produced its makespan.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["TaskRecord", "ExecutionTrace"]
+__all__ = ["TaskRecord", "SchedEvent", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
@@ -32,20 +39,54 @@ class TaskRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class SchedEvent:
+    """One scheduling decision: a task entering or leaving a ready queue.
+
+    Attributes
+    ----------
+    kind : str
+        ``"push"`` (task became ready), ``"pop"`` (a worker claimed it) or
+        ``"steal"`` (the claim crossed worker queues).
+    task : str
+        Name of the task involved.
+    worker : int
+        Worker claiming the task (``-1`` for pushes).
+    queue_depth : int
+        Ready-queue population *after* the event.
+    reason : str
+        Placement reason: where the task was queued (``home:N``,
+        ``affinity:N``, ``shared``) or popped from (``local``, ``shared``,
+        ``steal:N`` with the victim's id, ``fifo``, ``prio``, ``blevel``).
+    """
+
+    kind: str
+    task: str
+    worker: int
+    queue_depth: int
+    reason: str = ""
+
+
 @dataclass
 class ExecutionTrace:
-    """Accumulates task records during one runtime session."""
+    """Accumulates task records (and scheduling events) during one session."""
 
     records: list[TaskRecord] = field(default_factory=list)
+    sched_events: list[SchedEvent] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, record: TaskRecord) -> None:
         with self._lock:
             self.records.append(record)
 
+    def record_sched(self, event: SchedEvent) -> None:
+        with self._lock:
+            self.sched_events.append(event)
+
     def clear(self) -> None:
         with self._lock:
             self.records.clear()
+            self.sched_events.clear()
 
     # -- derived statistics ------------------------------------------------------
     def __len__(self) -> int:
@@ -90,10 +131,25 @@ class ExecutionTrace:
             out[rec.tag or rec.name] += 1
         return dict(out)
 
+    # -- scheduling statistics ---------------------------------------------------
+    def steal_count(self) -> int:
+        """Number of cross-queue steals among the recorded decisions."""
+        return sum(1 for e in self.sched_events if e.kind == "steal")
+
+    def placement_counts(self) -> dict[str, int]:
+        """Pop/steal placement reasons -> occurrence counts."""
+        return dict(Counter(e.reason for e in self.sched_events if e.kind != "push"))
+
+    def max_queue_depth(self) -> int:
+        """Deepest ready queue observed across all scheduling events."""
+        return max((e.queue_depth for e in self.sched_events), default=0)
+
     def summary(self, n_workers: int = 1) -> dict[str, float]:
         return {
             "tasks": float(len(self.records)),
             "makespan": self.makespan,
             "busy_time": self.total_busy_time,
             "efficiency": self.parallel_efficiency(n_workers),
+            "steals": float(self.steal_count()),
+            "max_queue_depth": float(self.max_queue_depth()),
         }

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.kernel_backend import resolve_backend_name
 from repro.core.methods import AUTO_METHOD, PARALLEL_METHODS, canonical_method
+from repro.runtime.scheduler import canonical_policy
 
 __all__ = ["SolverConfig"]
 
@@ -56,6 +57,13 @@ class SolverConfig:
         ``"auto"``); ``None`` follows ``$REPRO_KERNEL_BACKEND`` and defaults
         to the fused bit-identical numpy backend.  See
         :mod:`repro.core.kernel_backend` and ``docs/performance.md``.
+    policy : str, optional
+        Runtime scheduling policy for solvers built from this config
+        (canonicalized through
+        :func:`repro.runtime.scheduler.canonical_policy`; aliases accepted —
+        see ``docs/runtime.md``).  ``None`` keeps the runtime default
+        (``"prio"``).  Scheduling never changes numerical results — the
+        policy only affects wall time.
     """
 
     method: str = "dense"
@@ -67,6 +75,7 @@ class SolverConfig:
     chain_block: int | None = None
     max_workspace_cols: int | None = None
     backend: str | None = None
+    policy: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "method", canonical_method(self.method))
@@ -81,6 +90,8 @@ class SolverConfig:
         object.__setattr__(self, "accuracy", float(self.accuracy))
         object.__setattr__(self, "max_rank", self._positive_int("max_rank", self.max_rank, optional=True))
         object.__setattr__(self, "chain_block", self._positive_int("chain_block", self.chain_block, optional=True))
+        if self.policy is not None:
+            object.__setattr__(self, "policy", canonical_policy(self.policy))
 
     @staticmethod
     def _positive_int(name: str, value, optional: bool = False) -> int | None:

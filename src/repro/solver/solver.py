@@ -84,8 +84,10 @@ class MVNSolver:
     n_workers : int
         Worker threads of the owned runtime (ignored when ``runtime=`` is
         given).
-    policy : str
-        Scheduling policy of the owned runtime.
+    policy : str, optional
+        Scheduling policy of the owned runtime.  Precedence: this argument,
+        then ``config.policy``, then the ``"prio"`` default (see
+        ``docs/runtime.md`` for the policy table).
     runtime : Runtime, optional
         Use an existing runtime instead of owning one.  A borrowed runtime
         is *not* closed when the solver closes.
@@ -112,7 +114,7 @@ class MVNSolver:
         config: SolverConfig | str | None = None,
         *,
         n_workers: int = 1,
-        policy: str = "prio",
+        policy: str | None = None,
         runtime: Runtime | None = None,
         cache=_OWNED_CACHE,
         cache_entries: int = 8,
@@ -126,7 +128,12 @@ class MVNSolver:
             raise TypeError(f"config must be a SolverConfig or method string, got {type(config).__name__}")
         self.config = config
         self._owns_runtime = runtime is None
-        self.runtime = Runtime(n_workers=n_workers, policy=policy) if runtime is None else Runtime.ensure(runtime)
+        effective_policy = policy if policy is not None else (config.policy or "prio")
+        self.runtime = (
+            Runtime(n_workers=n_workers, policy=effective_policy)
+            if runtime is None
+            else Runtime.ensure(runtime)
+        )
         self._owns_cache = cache is _OWNED_CACHE
         self.cache: FactorCache | None = FactorCache(max_entries=cache_entries) if self._owns_cache else cache
         if self.cache is not None and not isinstance(self.cache, FactorCache):

@@ -47,6 +47,12 @@ API_SECTIONS: tuple[tuple[str, str], ...] = (
         "repro.core.api",
         "The one-shot functional wrappers (transient solver per call).",
     ),
+    (
+        "repro.runtime",
+        "The task-based runtime: data handles, dependency-inferred task "
+        "graphs, pluggable scheduling policies with information modes, and "
+        "execution/scheduling traces.",
+    ),
 )
 
 

@@ -19,6 +19,16 @@ def pytest_configure(config):
         "docs: executable documentation — doc-snippet execution and doc-drift "
         "guards (select with `pytest -m docs`); part of the default tier-1 run",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: stress and property tests with larger iteration counts "
+        "(deselect with `pytest -m 'not slow'`); part of the default tier-1 run",
+    )
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): advisory wall-clock bound for a test; enforced "
+        "in-test via watchdog joins (pytest-timeout is not a dependency)",
+    )
 
 
 @pytest.fixture

@@ -77,7 +77,7 @@ class TestDocumentSnippets:
     @pytest.mark.parametrize(
         "name",
         ["README.md", "docs/batch.md", "docs/solver.md", "docs/performance.md",
-         "docs/serving.md", "docs/query.md"],
+         "docs/serving.md", "docs/query.md", "docs/runtime.md"],
     )
     def test_python_blocks_execute(self, name):
         for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):

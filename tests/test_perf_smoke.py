@@ -17,6 +17,7 @@ import pytest
 
 from repro.perf.hotpath import run_hotpath_benchmark
 from repro.perf.planner import run_planner_benchmark
+from repro.perf.scheduler import run_scheduler_benchmark
 from repro.perf.serving import run_serving_benchmark
 
 pytestmark = pytest.mark.perf_smoke
@@ -113,6 +114,28 @@ def test_planner_benchmark_smoke(tmp_path):
         assert data["elapsed"]["auto"] > 0.0
         assert data["passed"]
     assert record["gate"]["passed"]
+
+
+def test_scheduler_benchmark_smoke(tmp_path):
+    """Tiny policy sweep: plumbing, replay, parity — no speed gate."""
+    json_path = tmp_path / "BENCH_scheduler.json"
+    record = run_scheduler_benchmark(n_workers=8, quick=True, json_path=json_path)
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "scheduler_policies"
+    assert on_disk["gate"]["threshold"] == 1.3
+
+    assert set(record["policies"]) == {"fifo", "prio", "locality", "blevel", "worksteal"}
+    for data in record["policies"].values():
+        assert data["makespan_s"] > 0.0
+        assert 0.0 < data["parallel_efficiency"] <= 1.0
+    # determinism and numerical parity must hold even in quick mode — only
+    # the *speed* gate needs the full-size graph
+    assert record["gate"]["replay_identical"]
+    assert record["gate"]["bit_identical_across_policies"]
+    assert record["gate"]["passed"]
+    assert set(record["blevel_information_modes"]) == {"exact", "estimated", "blind"}
 
 
 def test_serving_benchmark_rejects_unmixed_workload():

@@ -172,7 +172,7 @@ class TestRuntimeSerial:
 
 
 class TestRuntimeThreaded:
-    @pytest.mark.parametrize("policy", ["fifo", "prio", "locality"])
+    @pytest.mark.parametrize("policy", ["fifo", "prio", "locality", "blevel", "worksteal"])
     def test_parallel_chain_correctness(self, policy):
         """A chain of dependent increments must serialize; independent chains overlap."""
         rt = Runtime(n_workers=4, policy=policy)
