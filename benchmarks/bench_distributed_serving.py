@@ -1,0 +1,85 @@
+"""Distributed serving — simulated multi-node scaling on measured costs.
+
+The acceptance gate of the multi-node serving PR: a 1000-query workload
+mixing small dense covariances with large TLR-compressed ones (both chosen
+by the query planner under ``method="auto"``) must scale its simulated
+queries-per-second by **>= 3x** from one node to four — near-linear — while
+a real 4-shard :class:`repro.serve.QueryBroker` stays **bit-identical** to
+a single-shard broker on the same queries.
+
+Methodology (see :mod:`repro.perf.distributed_serving`): every simulated
+task cost is *measured* on this machine (per-Sigma factorization seconds,
+per-query sweep seconds), the multi-node execution is *simulated* by the
+deterministic :class:`~repro.distributed.simulator.ClusterSimulator` with
+network transfers priced by the Shaheen-class
+:class:`~repro.distributed.cluster.ClusterSpec`, and model placement is
+decided per covariance by :class:`repro.serve.net.NodePool` (replicate hot
+factors when the predicted routed traffic exceeds the install cost).
+
+Emits ``BENCH_distributed_serving.json`` at the repository root (the
+multi-node row of the machine-readable perf trajectory) and a
+human-readable table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import save_table
+from repro.perf.distributed_serving import (
+    DISTRIBUTED_SCALING_GATE,
+    run_distributed_serving_benchmark,
+)
+from repro.utils.reporting import Table
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed_serving.json"
+
+N_SMALL = 100
+N_LARGE = 1024
+N_QUERIES = 1000
+N_SAMPLES = 200
+NODE_COUNTS = (1, 2, 4)
+PARITY_QUERIES = 128
+
+
+def test_distributed_serving_scaling(benchmark):
+    """Simulated qps >= 3x from 1 to 4 nodes; 4 shards bit-identical to 1."""
+    record = benchmark.pedantic(
+        lambda: run_distributed_serving_benchmark(
+            n_small=N_SMALL, n_large=N_LARGE, n_queries=N_QUERIES,
+            n_samples=N_SAMPLES, node_counts=NODE_COUNTS,
+            parity_queries=PARITY_QUERIES, json_path=JSON_PATH,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        ["nodes", "makespan (s)", "queries/s", "efficiency", "replicated"],
+        title=f"distributed serving — {N_QUERIES} queries, "
+              f"{record['workload']['n_sigmas']} Sigmas "
+              f"(dense n={N_SMALL} + tlr n={N_LARGE}), N={N_SAMPLES}",
+    )
+    for sim in record["simulation"]:
+        table.add_row([sim["n_nodes"], sim["makespan_seconds"],
+                       sim["queries_per_second"], sim["parallel_efficiency"],
+                       sim["replicated_factors"]])
+    table.add_row(["scaling", record["scaling"]["value"], "", "", ""])
+    save_table(table, "distributed_serving")
+    print()
+    print(table.render())
+    print(f"wrote {JSON_PATH}")
+
+    # both planner classes must actually appear in the workload
+    assert set(record["workload"]["methods"]) == {"dense", "tlr"}, (
+        record["workload"]["methods"]
+    )
+    assert record["parity"]["bit_identical"], (
+        "4-shard broker results diverged from the single-shard broker"
+    )
+    value = record["scaling"]["value"]
+    assert value >= DISTRIBUTED_SCALING_GATE, (
+        f"simulated scaling only {value:.2f}x from 1 to 4 nodes "
+        f"(gate: {DISTRIBUTED_SCALING_GATE}x); "
+        f"qps: {record['scaling']['qps']}"
+    )
+    assert JSON_PATH.exists()

@@ -19,6 +19,12 @@ Three subcommands cover the library's main workflows without writing Python:
     Run confidence-region detection on a synthetic dataset (or a covariance /
     mean pair loaded from ``.npy``) and optionally save the result.
 
+``repro serve``
+    Run the JSON-lines network gateway (:mod:`repro.serve.net`): a
+    :class:`~repro.serve.broker.QueryBroker` behind an asyncio TCP server
+    speaking ``MVNQuery``/``MVNResult`` dictionaries, with optional
+    queue-depth autoscaling of the shard count.
+
 ``repro serve-bench``
     Replay a mixed multi-covariance workload through the concurrent serving
     subsystem (:mod:`repro.serve`) and report throughput vs a cold
@@ -45,6 +51,7 @@ import numpy as np
 
 from repro.core.methods import ACCEPTED_METHODS
 from repro.runtime.scheduler import ACCEPTED_POLICIES
+from repro.serve.config import SIGMA_TRANSPORTS, WORKER_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -132,6 +139,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-phase timing breakdown of the detection")
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
     crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
+
+    gateway = sub.add_parser(
+        "serve",
+        help="run the JSON-lines serving gateway (see docs/serving.md)",
+        parents=[runtime_parent],
+    )
+    gateway.add_argument("--host", default="127.0.0.1", help="listen address")
+    gateway.add_argument("--port", type=int, default=8750,
+                         help="listen port (0 picks a free port)")
+    gateway.add_argument("--method", default="auto", choices=list(ACCEPTED_METHODS),
+                         help="estimator of the shard solvers")
+    gateway.add_argument("--samples", type=int, default=2000,
+                         help="default QMC sample size for queries that omit it")
+    gateway.add_argument("--backend", default=None,
+                         choices=["numpy", "numba", "reference", "auto"],
+                         help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    gateway.add_argument("--shards", type=int, default=2, help="initial warm solver shards")
+    gateway.add_argument("--mode", default="auto", choices=list(WORKER_MODES),
+                         help="shard worker mode")
+    gateway.add_argument("--max-batch", type=int, default=32, help="micro-batch capacity")
+    gateway.add_argument("--batch-window", type=float, default=0.002,
+                         help="micro-batch coalescing window (seconds)")
+    gateway.add_argument("--max-pending", type=int, default=1024,
+                         help="backpressure limit on submitted-but-unfinished requests")
+    gateway.add_argument("--cache-entries", type=int, default=8,
+                         help="warm models kept per shard")
+    gateway.add_argument("--transport", default="auto", choices=list(SIGMA_TRANSPORTS),
+                         help="how covariances travel to shards")
+    gateway.add_argument("--autoscale", action="store_true",
+                         help="scale the shard count with queue depth")
+    gateway.add_argument("--min-shards", type=int, default=1,
+                         help="autoscaler lower bound")
+    gateway.add_argument("--max-shards", type=int, default=4,
+                         help="autoscaler upper bound")
 
     serve = sub.add_parser(
         "serve-bench",
@@ -357,6 +398,49 @@ def _cmd_crd(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the network gateway until interrupted (Ctrl-C exits cleanly)."""
+    import asyncio
+    import contextlib
+
+    from repro import SolverConfig
+    from repro.serve import QueryBroker, ServeConfig
+    from repro.serve.net import Autoscaler, ServeGateway
+
+    solver_config = SolverConfig(method=args.method, n_samples=args.samples,
+                                 backend=args.backend)
+    serve_config = ServeConfig(
+        n_shards=args.shards, worker_mode=args.mode, max_batch=args.max_batch,
+        batch_window=args.batch_window, max_pending=args.max_pending,
+        n_workers=args.workers, policy=args.policy,
+        cache_entries=args.cache_entries, sigma_transport=args.transport,
+    )
+
+    async def run() -> None:
+        broker = QueryBroker(serve_config, solver_config)
+        autoscaler = None
+        try:
+            if args.autoscale:
+                autoscaler = Autoscaler(broker, min_shards=args.min_shards,
+                                        max_shards=args.max_shards)
+                autoscaler.run()
+            async with ServeGateway(broker, host=args.host, port=args.port) as gateway:
+                host, port = gateway.address
+                print(f"serving on {host}:{port} "
+                      f"({broker.n_shards} {serve_config.resolved_worker_mode()} shards, "
+                      f"{broker.sigma_transport} transport, method={args.method})",
+                      flush=True)
+                await gateway.serve_forever()
+        finally:
+            if autoscaler is not None:
+                autoscaler.stop()
+            broker.close()
+
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(run())
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.perf.serving import SERVING_SPEEDUP_GATE, run_serving_benchmark
     from repro.serve.stats import ServeStats
@@ -406,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "crd":
         return _cmd_crd(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
     if args.command == "calibrate":

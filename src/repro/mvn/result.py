@@ -11,6 +11,13 @@ __all__ = ["MVNResult"]
 #: marker key identifying an encoded ndarray in a serialized details tree
 _NDARRAY_KEY = "__ndarray__"
 
+#: marker key shielding caller dicts that collide with the markers above
+_ESCAPED_KEY = "__escaped-dict__"
+
+#: caller dicts with exactly one of these key sets need escaping, or the
+#: decoder would misread them as encoder markers
+_RESERVED_SHAPES = ({_NDARRAY_KEY}, {_ESCAPED_KEY})
+
 
 def _encode_value(value):
     """Recursively encode a details value into JSON-safe primitives.
@@ -19,14 +26,19 @@ def _encode_value(value):
     so :func:`_decode_value` can restore them with full type fidelity;
     numpy scalars collapse to their Python equivalents; anything exotic
     falls back to ``repr`` (JSON-safety is guaranteed, round-tripping is
-    best-effort for caller-supplied objects).
+    best-effort for caller-supplied objects).  A caller dict that happens
+    to look like the ndarray marker itself is wrapped in an escape layer so
+    it round-trips as plain data instead of decoding as an array.
     """
     if isinstance(value, np.ndarray):
         return {_NDARRAY_KEY: {"data": value.tolist(), "dtype": str(value.dtype)}}
     if isinstance(value, (np.floating, np.integer, np.bool_)):
         return value.item()
     if isinstance(value, dict):
-        return {str(key): _encode_value(item) for key, item in value.items()}
+        encoded = {str(key): _encode_value(item) for key, item in value.items()}
+        if set(encoded) in _RESERVED_SHAPES:
+            return {_ESCAPED_KEY: encoded}
+        return encoded
     if isinstance(value, (list, tuple)):
         return [_encode_value(item) for item in value]
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -39,7 +51,18 @@ def _decode_value(value):
     if isinstance(value, dict):
         if set(value) == {_NDARRAY_KEY}:
             spec = value[_NDARRAY_KEY]
-            return np.asarray(spec["data"], dtype=spec["dtype"])
+            if not isinstance(spec, dict) or not {"data", "dtype"} <= set(spec):
+                raise ValueError(f"malformed ndarray encoding: {spec!r}")
+            try:
+                return np.asarray(spec["data"], dtype=spec["dtype"])
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"malformed ndarray encoding: {exc}") from None
+        if set(value) == {_ESCAPED_KEY}:
+            # escaped caller dict: strip the shield, keep the payload as-is
+            # (its nested values were encoded normally)
+            inner = value[_ESCAPED_KEY]
+            return {key: _decode_value(item) for key, item in inner.items()} \
+                if isinstance(inner, dict) else inner
         return {key: _decode_value(item) for key, item in value.items()}
     if isinstance(value, list):
         return [_decode_value(item) for item in value]
@@ -113,15 +136,37 @@ class MVNResult:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MVNResult":
-        """Rebuild a result from a :meth:`to_dict` payload."""
-        return cls(
-            probability=payload["probability"],
-            error=payload["error"],
-            n_samples=payload["n_samples"],
-            dimension=payload["dimension"],
-            method=payload.get("method", ""),
-            details=_decode_value(payload.get("details", {})),
-        )
+        """Rebuild a result from a :meth:`to_dict` payload.
+
+        Hardened for wire use (the gateway feeds it client-supplied JSON):
+        a non-dict payload, missing required keys, or non-numeric counters
+        raise ``ValueError`` naming the problem instead of surfacing as
+        ``KeyError``/``TypeError`` from deep inside the constructor.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"result payload must be a JSON object, got {type(payload).__name__}"
+            )
+        missing = {"probability", "error", "n_samples", "dimension"} - set(payload)
+        if missing:
+            raise ValueError(f"result payload is missing field(s): {sorted(missing)}")
+        details = payload.get("details", {})
+        if not isinstance(details, dict):
+            raise ValueError(
+                f"result payload 'details' must be an object, got "
+                f"{type(details).__name__}"
+            )
+        try:
+            return cls(
+                probability=payload["probability"],
+                error=payload["error"],
+                n_samples=payload["n_samples"],
+                dimension=payload["dimension"],
+                method=str(payload.get("method", "")),
+                details=_decode_value(details),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"malformed MVNResult payload: {exc}") from None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

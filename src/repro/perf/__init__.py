@@ -42,9 +42,25 @@ __all__ = [
     "scheduler_workload",
     "run_serving_benchmark",
     "serving_workload",
+    "run_distributed_serving_benchmark",
+    "distributed_serving_workload",
     "PMVNCostModel",
     "dense_cholesky_flops",
     "tlr_cholesky_model_flops",
     "sweep_flops",
     "predict_shared_memory_time",
 ]
+
+_LAZY = ("run_distributed_serving_benchmark", "distributed_serving_workload")
+
+
+def __getattr__(name):
+    # repro.perf.distributed_serving sits *above* repro.distributed (it
+    # simulates a cluster), while repro.distributed.cluster imports
+    # repro.perf.machines — importing it eagerly here would make the package
+    # graph circular, so it loads on first attribute access instead.
+    if name in _LAZY:
+        from repro.perf import distributed_serving
+
+        return getattr(distributed_serving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

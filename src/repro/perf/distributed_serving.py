@@ -1,0 +1,376 @@
+"""Distributed-serving benchmark: multi-node scaling of the serve layer.
+
+The single-node serving gate (:mod:`repro.perf.serving`) measures what
+micro-batching and warm shards buy over cold queries.  This module asks the
+next question — how the same serving layer scales when shards live on
+*separate nodes* connected by a network — which no single machine available
+to the reproduction can measure directly.  Following the methodology of the
+paper's distributed experiments (and ``bench_fig7_distributed.py``), the
+answer combines **real measurement** with **simulation**:
+
+* every per-task cost is *measured*: each covariance in the workload is
+  factorized for real and swept for real on this machine, giving per-Sigma
+  factorization seconds and per-query sweep seconds;
+* the multi-node execution is *simulated*: the measured costs become a
+  :class:`~repro.distributed.simulator.SimTask` graph — one publish +
+  factorize chain per covariance placed by :class:`repro.serve.net.NodePool`
+  (replicate-vs-route economics), one sweep task per query, network
+  transfers priced by the :class:`~repro.distributed.cluster.ClusterSpec` —
+  executed by the deterministic :class:`ClusterSimulator` at 1, 2 and 4
+  nodes;
+* correctness is *real* end to end: the same workload runs through actual
+  :class:`repro.serve.QueryBroker` instances with one shard and with four,
+  and every multi-shard probability must be **bit-identical** to the
+  single-shard answer.
+
+The acceptance gate: on the mixed dense/TLR workload (small covariances the
+query planner solves densely, large smooth-kernel covariances it compresses)
+the simulated queries-per-second must scale by **>= 3x** from one node to
+four — near-linear, since the placement layer localizes every hot factor.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch.cache import sigma_fingerprint
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.simulator import ClusterSimulator, SimTask
+from repro.serve import QueryBroker, ServeConfig
+from repro.serve.net.placement import NodePool
+from repro.serve.pool import shard_for_fingerprint
+from repro.solver import MVNSolver, SolverConfig
+
+__all__ = [
+    "run_distributed_serving_benchmark",
+    "distributed_serving_workload",
+    "DISTRIBUTED_SCALING_GATE",
+]
+
+#: acceptance threshold: simulated qps at 4 nodes over qps at 1 node
+DISTRIBUTED_SCALING_GATE = 3.0
+
+#: local memory bandwidth used to price the one-time segment publish copy
+_PUBLISH_COPY_GBS = 50.0
+
+
+def _balanced_sigmas(n: int, per_node: int, n_nodes: int, kernel_range: float,
+                     nugget: float = 1e-6, max_tries: int = 200) -> list[np.ndarray]:
+    """Covariances whose fingerprints spread one-per-node at ``n_nodes``.
+
+    Consistent hashing places a covariance on ``hash(fingerprint) % n_nodes``;
+    a workload drawn blindly can land several factors on one node and make
+    the scaling measurement about luck rather than the serving layer.  Real
+    deployments get balance from volume (many factors), the benchmark gets
+    it by construction: candidate fields (same kernel family, slightly
+    different correlation ranges, so every candidate is a legitimate member
+    of the workload) are generated until each node is home to exactly
+    ``per_node`` of them.
+    """
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+    side = int(np.ceil(np.sqrt(n)))
+    locations = Geometry.regular_grid(side, side).locations[:n]
+    buckets: dict[int, list[np.ndarray]] = {node: [] for node in range(n_nodes)}
+    for attempt in range(max_tries):
+        kernel = ExponentialKernel(1.0, kernel_range * (1.0 + 0.01 * attempt))
+        sigma = build_covariance(kernel, locations, nugget=nugget)
+        home = shard_for_fingerprint(sigma_fingerprint(sigma), n_nodes)
+        if len(buckets[home]) < per_node:
+            buckets[home].append(sigma)
+        if all(len(entries) == per_node for entries in buckets.values()):
+            # interleave so sigma index i has home i % n_nodes
+            return [buckets[node][rank] for rank in range(per_node)
+                    for node in range(n_nodes)]
+    raise RuntimeError(
+        f"could not balance {per_node * n_nodes} fingerprints over "
+        f"{n_nodes} nodes in {max_tries} tries"
+    )
+
+
+def distributed_serving_workload(
+    n_small: int = 100,
+    n_large: int = 1024,
+    sigmas_per_class_per_node: int = 1,
+    balance_nodes: int = 4,
+    n_queries: int = 1000,
+    seed: int = 11,
+):
+    """The mixed dense/TLR workload of the distributed-serving gate.
+
+    Two covariance classes exercise both sides of the query planner under
+    ``method="auto"``: *small* fields (dimension ``n_small``) that dense
+    factorization wins, and *large smooth* fields (dimension ``n_large``,
+    long correlation range, hence low off-diagonal rank) that TLR
+    compression wins.  Each class contributes ``sigmas_per_class_per_node``
+    factors per node at the ``balance_nodes`` layout (see
+    :func:`_balanced_sigmas`); queries cycle round-robin over all factors
+    with a random one-sided upper limit each.
+
+    Returns ``(sigmas, queries)`` with ``queries`` a list of
+    ``(sigma_index, a, b)`` triples.
+    """
+    small = _balanced_sigmas(n_small, sigmas_per_class_per_node, balance_nodes,
+                             kernel_range=0.1)
+    # long-range fields compress well (low off-diagonal rank -> the planner
+    # picks TLR); the nugget keeps the compressed Cholesky positive definite
+    large = _balanced_sigmas(n_large, sigmas_per_class_per_node, balance_nodes,
+                             kernel_range=0.5, nugget=1e-4)
+    sigmas = small + large
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(n_queries):
+        sigma_index = index % len(sigmas)
+        dim = sigmas[sigma_index].shape[0]
+        queries.append((sigma_index,
+                        np.full(dim, -np.inf),
+                        rng.uniform(0.5, 2.5, dim)))
+    return sigmas, queries
+
+
+def _calibrate_workload(sigmas, queries, solver_config, seed) -> list[dict]:
+    """Measure the real per-Sigma costs the simulation runs on.
+
+    For each covariance: the first ``probability`` call is timed (planner +
+    factorization + one sweep), then a warm batch is timed to isolate the
+    per-query sweep seconds — minimum over three repeats, because a noisy
+    per-Sigma sweep figure skews the simulated node balance (each routed
+    factor pins all its queries to one node).  The factorization seconds
+    are the cold remainder.  All downstream simulated costs derive from
+    these measurements.
+    """
+    per_sigma_queries: dict[int, list] = {}
+    for sigma_index, a, b in queries:
+        per_sigma_queries.setdefault(sigma_index, []).append((a, b))
+    profiles = []
+    with MVNSolver(solver_config) as solver:
+        for sigma_index, sigma in enumerate(sigmas):
+            boxes = per_sigma_queries[sigma_index]
+            a0, b0 = boxes[0]
+            start = time.perf_counter()
+            model = solver.model(sigma)
+            first = model.probability(a0, b0, rng=seed)
+            cold_seconds = time.perf_counter() - start
+            warm = boxes[: min(8, len(boxes))]
+            sweep_seconds = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                model.probability_batch(warm, rng=seed)
+                sweep_seconds = min(
+                    sweep_seconds, (time.perf_counter() - start) / len(warm)
+                )
+            profiles.append({
+                "sigma": sigma_index,
+                "n": int(sigma.shape[0]),
+                # the factorization-cost class of the planner's choice
+                # (full method strings are e.g. "pmvn-tlr")
+                "method": "tlr" if "tlr" in first.method else "dense",
+                "factorize_seconds": max(cold_seconds - sweep_seconds, 0.0),
+                "sweep_seconds_per_query": sweep_seconds,
+                "fingerprint": sigma_fingerprint(sigma),
+            })
+    return profiles
+
+
+def _simulate_nodes(profiles, queries, n_nodes, shards_per_node) -> dict:
+    """Place the workload with :class:`NodePool` and simulate its execution.
+
+    The task graph mirrors the serving data flow: one *publish* task per
+    covariance on its home node (output: the Sigma bytes every remote
+    factorization must receive), one *factorize* task per node holding the
+    factor (every node when the placement replicates, the home node when it
+    routes), and one *sweep* task per query on its execution node — queries
+    arriving at a non-home node of a routed factor pay the request transfer.
+    """
+    cluster = ClusterSpec(n_nodes)
+    pool = NodePool(n_nodes, shards_per_node=shards_per_node, cluster=cluster)
+    hits_per_sigma = len(queries) / max(len(profiles), 1)
+
+    tasks: list[SimTask] = []
+    factor_task: dict[tuple[int, int], int] = {}
+    decisions = []
+    for profile in profiles:
+        decision = pool.decide(profile["fingerprint"], profile["n"],
+                               expected_hits=hits_per_sigma,
+                               method=profile["method"])
+        decisions.append(decision)
+        sigma_bytes = 8.0 * profile["n"] ** 2
+        tasks.append(SimTask(
+            name=f"publish-{profile['sigma']}",
+            cost=sigma_bytes / (_PUBLISH_COPY_GBS * 1e9),
+            node=decision.home_node, output_bytes=sigma_bytes, tag="publish",
+        ))
+        publish_index = len(tasks) - 1
+        nodes = range(n_nodes) if decision.replicated else (decision.home_node,)
+        for node in nodes:
+            tasks.append(SimTask(
+                name=f"factorize-{profile['sigma']}-n{node}",
+                cost=profile["factorize_seconds"], node=node,
+                deps=[publish_index], tag="factorize",
+            ))
+            factor_task[(profile["sigma"], node)] = len(tasks) - 1
+
+    for query_index, (sigma_index, _a, _b) in enumerate(queries):
+        profile = profiles[sigma_index]
+        origin = query_index % n_nodes
+        execute_on = pool.execution_node(profile["fingerprint"], origin)
+        deps = [factor_task[(sigma_index, execute_on)]]
+        if execute_on != origin:
+            tasks.append(SimTask(
+                name=f"request-{query_index}", cost=0.0, node=origin,
+                output_bytes=pool.query_bytes(profile["n"]), tag="request",
+            ))
+            deps.append(len(tasks) - 1)
+        tasks.append(SimTask(
+            name=f"sweep-{query_index}",
+            cost=profile["sweep_seconds_per_query"],
+            node=execute_on, deps=deps, tag="sweep",
+        ))
+
+    outcome = ClusterSimulator(cluster, cores_per_node=shards_per_node).run(tasks)
+    return {
+        "n_nodes": n_nodes,
+        "shards_per_node": shards_per_node,
+        "makespan_seconds": outcome.makespan,
+        "queries_per_second": len(queries) / outcome.makespan,
+        "parallel_efficiency": outcome.parallel_efficiency,
+        "communication_seconds": outcome.communication_seconds,
+        "n_tasks": outcome.n_tasks,
+        "replicated_factors": sum(1 for d in decisions if d.replicated),
+        "routed_factors": sum(1 for d in decisions if not d.replicated),
+        "placements": [
+            {"fingerprint": d.fingerprint[:16], "n": d.n, "action": d.action,
+             "home_node": d.home_node, "reason": d.reason}
+            for d in decisions
+        ],
+    }
+
+
+def _broker_parity(sigmas, queries, solver_config, seed, max_batch) -> dict:
+    """Real-execution parity: 4 shards must answer exactly like 1 shard."""
+    outputs = []
+    for n_shards in (1, 4):
+        config = ServeConfig(n_shards=n_shards, worker_mode="thread",
+                             max_batch=max_batch)
+        with QueryBroker(config, solver_config) as broker:
+            futures = [broker.submit(a, b, sigmas[sigma_index], rng=seed)
+                       for sigma_index, a, b in queries]
+            outputs.append([future.result() for future in futures])
+    single, multi = outputs
+    bit_identical = all(
+        one.probability == four.probability and one.error == four.error
+        for one, four in zip(single, multi)
+    )
+    return {
+        "n_queries": len(queries),
+        "shard_counts": [1, 4],
+        "bit_identical": bit_identical,
+    }
+
+
+def run_distributed_serving_benchmark(
+    n_small: int = 100,
+    n_large: int = 1024,
+    sigmas_per_class_per_node: int = 1,
+    n_queries: int = 1000,
+    n_samples: int = 200,
+    node_counts: tuple[int, ...] = (1, 2, 4),
+    shards_per_node: int = 1,
+    parity_queries: int = 128,
+    max_batch: int = 16,
+    seed: int = 11,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Run the distributed-serving benchmark and return the result record.
+
+    Parameters
+    ----------
+    n_small, n_large, sigmas_per_class_per_node, n_queries
+        Workload shape (see :func:`distributed_serving_workload`); the
+        acceptance run uses the defaults — 1000 queries over 4 small dense
+        + 4 large TLR covariances.  Smoke runs pass tiny sizes.
+    n_samples : int
+        QMC sample size per query (shared, so same-Sigma queries batch).
+    node_counts : tuple of int
+        Simulated cluster sizes; must include 1 and the scaling endpoint
+        ``max(node_counts)``.
+    shards_per_node : int
+        Warm shards (simulator core slots) per node.
+    parity_queries : int
+        Queries replayed through *real* 1-shard and 4-shard brokers for
+        the bit-parity check (a prefix of the workload covering every
+        covariance; capped at ``n_queries``).
+    max_batch, seed
+        Serving batch capacity (parity brokers) and workload/QMC seed.
+    json_path : path, optional
+        When given, the record is also written there as JSON.
+    """
+    sigmas, queries = distributed_serving_workload(
+        n_small=n_small, n_large=n_large,
+        sigmas_per_class_per_node=sigmas_per_class_per_node,
+        balance_nodes=max(node_counts), n_queries=n_queries, seed=seed,
+    )
+    solver_config = SolverConfig(method="auto", n_samples=n_samples)
+
+    profiles = _calibrate_workload(sigmas, queries, solver_config, seed)
+    simulations = [
+        _simulate_nodes(profiles, queries, n_nodes, shards_per_node)
+        for n_nodes in node_counts
+    ]
+    by_nodes = {sim["n_nodes"]: sim for sim in simulations}
+    base = by_nodes[min(node_counts)]
+    peak = by_nodes[max(node_counts)]
+    scaling = peak["queries_per_second"] / base["queries_per_second"]
+
+    parity = _broker_parity(
+        sigmas, queries[: min(parity_queries, len(queries))],
+        solver_config, seed, max_batch,
+    )
+
+    record: dict = {
+        "benchmark": "distributed_serving",
+        "workload": {
+            "n_small": n_small,
+            "n_large": n_large,
+            "n_sigmas": len(sigmas),
+            "n_queries": n_queries,
+            "n_samples": n_samples,
+            "methods": sorted({p["method"] for p in profiles}),
+            "seed": seed,
+        },
+        "calibration": [
+            {key: profile[key] for key in
+             ("sigma", "n", "method", "factorize_seconds",
+              "sweep_seconds_per_query")}
+            for profile in profiles
+        ],
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform()},
+        "simulation": simulations,
+        "scaling": {
+            "from_nodes": min(node_counts),
+            "to_nodes": max(node_counts),
+            "qps": {str(sim["n_nodes"]): sim["queries_per_second"]
+                    for sim in simulations},
+            "value": scaling,
+        },
+        "parity": parity,
+        "gate": {
+            "metric": f"simulated qps scaling, {min(node_counts)} -> "
+                      f"{max(node_counts)} nodes",
+            "threshold": DISTRIBUTED_SCALING_GATE,
+            "value": scaling,
+            "passed": scaling >= DISTRIBUTED_SCALING_GATE and parity["bit_identical"],
+        },
+    }
+
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

@@ -42,6 +42,10 @@ from repro.utils.validation import check_limits
 
 __all__ = ["MVNQuery"]
 
+#: the exact key set of the JSON wire form (``to_dict``/``from_dict``)
+_WIRE_FIELDS = ("a", "b", "mean", "n_samples", "rng", "qmc",
+                "target_error", "max_samples", "tag")
+
 
 @dataclass(frozen=True, eq=False)
 class MVNQuery:
@@ -142,6 +146,69 @@ class MVNQuery:
         if not np.isfinite(mu):
             raise ValueError("mean must be finite")
         return mu
+
+    # -- wire form -------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The JSON-safe wire form of the query (gateway protocol).
+
+        Limits serialize as float lists (``inf`` survives Python's JSON
+        encoder), the mean as ``None`` / float / list.  ``rng`` must be an
+        integer seed or ``None`` — generator objects cannot cross a
+        network boundary without changing the stream — and ``tag`` must be
+        a JSON primitive for the same reason.
+
+        >>> q = MVNQuery([0.0], [1.5], n_samples=200, rng=7, tag="cell-3")
+        >>> MVNQuery.from_dict(q.to_dict()).tag
+        'cell-3'
+        """
+        if self.rng is not None and not isinstance(self.rng, (int, np.integer)):
+            raise TypeError(
+                "only integer seeds (or None) serialize; generator rng "
+                "objects cannot cross a process/network boundary"
+            )
+        if self.tag is not None and not isinstance(self.tag, (bool, int, float, str)):
+            raise TypeError(
+                f"tag must be a JSON primitive to serialize, got "
+                f"{type(self.tag).__name__}"
+            )
+        mean = self.mean
+        if isinstance(mean, np.ndarray):
+            mean = mean.tolist()
+        return {
+            "a": self.a.tolist(),
+            "b": self.b.tolist(),
+            "mean": mean,
+            "n_samples": self.n_samples,
+            "rng": None if self.rng is None else int(self.rng),
+            "qmc": self.qmc,
+            "target_error": self.target_error,
+            "max_samples": self.max_samples,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MVNQuery":
+        """Rebuild a query from its :meth:`to_dict` wire form (strict).
+
+        Unknown keys raise ``ValueError`` — a misspelled field in a network
+        request must fail loudly, not silently change the query's meaning.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"query payload must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - set(_WIRE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown MVNQuery field(s): {sorted(map(str, unknown))}")
+        missing = {"a", "b"} - set(payload)
+        if missing:
+            raise ValueError(f"query payload is missing field(s): {sorted(missing)}")
+        return cls(
+            payload["a"], payload["b"], mean=payload.get("mean"),
+            n_samples=payload.get("n_samples"), rng=payload.get("rng"),
+            qmc=payload.get("qmc"), target_error=payload.get("target_error"),
+            max_samples=payload.get("max_samples"), tag=payload.get("tag"),
+        )
 
     # -- derived shape info ----------------------------------------------------------
     @property

@@ -23,6 +23,13 @@ and sharding change the schedule, never the estimator.  See
 ``docs/serving.md`` for the architecture and
 ``benchmarks/bench_serving_throughput.py`` for the throughput gate.
 
+The distributed layer lives in :mod:`repro.serve.net`: a JSON-lines
+asyncio gateway (``ServeGateway``/``ServeClient``), zero-copy
+shared-memory Sigma transport (``SharedSigmaStore``, selected via
+``ServeConfig.sigma_transport``), network-cost-aware model placement
+(``NodePool``) and queue-depth autoscaling (``Autoscaler`` over
+:meth:`QueryBroker.resize`).
+
 >>> import numpy as np
 >>> from repro.serve import QueryBroker, ServeConfig
 >>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])

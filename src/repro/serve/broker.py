@@ -40,7 +40,7 @@ from repro.batch.cache import FingerprintMemo
 from repro.mvn.result import MVNResult
 from repro.query import MVNQuery, QueryPlanner
 from repro.serve.config import ServeConfig
-from repro.serve.pool import ModelRoster, ShardPool
+from repro.serve.pool import ModelRoster, ShardPool, shard_for_fingerprint
 from repro.serve.stats import ServeStats, ShardSnapshot
 from repro.solver.config import SolverConfig
 from repro.utils.validation import check_limits
@@ -49,6 +49,22 @@ __all__ = ["QueryBroker", "ServeError", "ServeOverloadedError"]
 
 #: dispatcher-queue sentinel: flush everything, stop the shards, exit
 _CLOSE = object()
+
+
+class _Resize:
+    """Dispatcher control message: change the shard count to ``n_shards``.
+
+    Routed through the dispatch queue so the resize is serialized with the
+    flushes — routing (``fingerprint -> shard``) only ever changes between
+    batches, never under one.
+    """
+
+    __slots__ = ("n_shards", "done", "error")
+
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = n_shards
+        self.done = threading.Event()
+        self.error: BaseException | None = None
 
 
 class ServeOverloadedError(RuntimeError):
@@ -178,10 +194,25 @@ class QueryBroker:
         )
         self._fingerprints = FingerprintMemo()
         self._plans = _PlanMemo(QueryPlanner(), solver_config)
+        # zero-copy transport: distinct covariances are published once into
+        # refcounted shared-memory segments and shards receive descriptors
+        # (see repro.serve.net.transport); "inline" ships the ndarray itself
+        self.sigma_transport = config.resolved_sigma_transport()
+        if self.sigma_transport == "shm":
+            from repro.serve.net.transport import SharedSigmaStore
+
+            self._store = SharedSigmaStore()
+        else:
+            self._store = None
         # broker-side mirror of each shard's model LRU: the same ModelRoster
         # code the worker runs, updated in the same (FIFO queue) order, so
-        # the broker knows when a shard needs the covariance re-shipped
-        self._rosters = [ModelRoster(config.cache_entries) for _ in range(config.n_shards)]
+        # the broker knows when a shard needs the covariance re-shipped.
+        # Guarded by _roster_lock: the dispatcher mutates it on flush/resize,
+        # a collector mutates it when its shard dies.
+        self._roster_lock = threading.Lock()
+        self._rosters = [self._make_roster() for _ in range(config.n_shards)]
+        self._retired: list = []  # shrunk-away shards awaiting join
+        self._dead_shards: set[int] = set()  # ids whose segments were released
 
         self._queue: queue.Queue = queue.Queue()
         self._slots = threading.BoundedSemaphore(config.max_pending)
@@ -199,13 +230,21 @@ class QueryBroker:
             target=self._dispatch_loop, daemon=True, name="repro-serve-dispatcher"
         )
         self._collectors = [
-            threading.Thread(target=self._collect_loop, args=(i,), daemon=True,
-                             name=f"repro-serve-collector-{i}")
-            for i in range(config.n_shards)
+            threading.Thread(target=self._collect_loop, args=(shard,), daemon=True,
+                             name=f"repro-serve-collector-{shard.shard_id}")
+            for shard in self._pool.shards
         ]
         self._dispatcher.start()
         for collector in self._collectors:
             collector.start()
+
+    def _make_roster(self) -> ModelRoster:
+        return ModelRoster(self.config.cache_entries, on_evict=self._on_roster_evict)
+
+    def _on_roster_evict(self, fingerprint: str, _value) -> None:
+        """A shard mirror evicted a model: drop its segment reference."""
+        if self._store is not None:
+            self._store.release(fingerprint)
 
     # -- submission ------------------------------------------------------------------
     def submit(self, a, b=None, sigma=None, *, mean=None, n_samples: int | None = None,
@@ -362,6 +401,41 @@ class QueryBroker:
         """Whether :meth:`close` has run (a closed broker rejects submissions)."""
         return self._closed
 
+    @property
+    def n_shards(self) -> int:
+        """The current shard count (changes under :meth:`resize`)."""
+        return len(self._pool.shards)
+
+    @property
+    def sigma_store(self):
+        """The shared-memory sigma store, or ``None`` for inline transport."""
+        return self._store
+
+    def resize(self, n_shards: int, timeout: float | None = 30.0) -> int:
+        """Change the shard count; blocks until the fleet matches.
+
+        Thread-safe (the autoscaler calls it from its own thread): the
+        request rides the dispatch queue, so routing only changes between
+        micro-batches.  Growth starts fresh shards and — under the
+        shared-memory transport — warm-starts them with every resident
+        covariance that re-routes to them; shrinking retires tail shards,
+        which drain their queued batches before stopping.  Returns the new
+        shard count.
+        """
+        target = int(n_shards)
+        if target < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        request = _Resize(target)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("this QueryBroker is closed; create a new one")
+            self._queue.put((None, request))
+        if not request.done.wait(timeout):
+            raise ServeError(f"resize to {target} shards did not complete in time")
+        if request.error is not None:
+            raise ServeError(f"resize to {target} shards failed: {request.error}")
+        return self.n_shards
+
     def __enter__(self) -> "QueryBroker":
         if self._closed:
             raise RuntimeError("this QueryBroker is closed; create a new one")
@@ -386,6 +460,13 @@ class QueryBroker:
         for collector in self._collectors:
             collector.join(timeout)
         self._pool.join(timeout)
+        for shard in self._retired:
+            shard.join(timeout)
+        if self._store is not None:
+            # every worker has stopped (or been terminated): unlink whatever
+            # segments the rosters still reference — nothing may survive a
+            # closed broker
+            self._store.close()
 
     # -- observability ---------------------------------------------------------------
     def stats(self) -> ServeStats:
@@ -400,6 +481,10 @@ class QueryBroker:
                 queue_depth=self._stats.queue_depth,
                 max_queue_depth=self._stats.max_queue_depth,
                 max_batch=self._stats.max_batch,
+                sigma_sends=self._stats.sigma_sends,
+                sigma_skips=self._stats.sigma_skips,
+                sigma_bytes=self._stats.sigma_bytes,
+                preloads=self._stats.preloads,
                 shards=[ShardSnapshot(**vars(s)) for s in self._stats.shards],
             )
         return snapshot
@@ -407,7 +492,7 @@ class QueryBroker:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else "open"
         return (
-            f"QueryBroker(shards={self.config.n_shards}, "
+            f"QueryBroker(shards={self.n_shards}, "
             f"mode={self._pool.worker_mode!r}, method={self.solver_config.method!r}, "
             f"{state})"
         )
@@ -440,6 +525,9 @@ class QueryBroker:
                 if item is _CLOSE:
                     closing = True  # submit() rejects after close: no later items
                     continue
+                if isinstance(item, _Resize):
+                    self._apply_resize(item)
+                    continue
                 bucket = buckets.get(key)
                 if bucket is None:
                     bucket = buckets[key] = _Bucket(item.enqueued + window)
@@ -461,7 +549,7 @@ class QueryBroker:
         fingerprint, n_samples, qmc, seed, _planned, target_error, max_samples = key
         requests = bucket.requests
         shard_id = self._pool.route(fingerprint)
-        sigma = requests[0].sigma if self._roster_insert(shard_id, fingerprint) else None
+        sigma = self._sigma_payload(shard_id, fingerprint, requests[0].sigma)
         boxes = [(request.a, request.b) for request in requests]
         if all(request.mean is None for request in requests):
             means = None
@@ -480,26 +568,115 @@ class QueryBroker:
              seed, target_error, max_samples),
         )
 
-    def _roster_insert(self, shard_id: int, fingerprint: str) -> bool:
-        """Track the shard's model LRU; True when sigma must be shipped.
+    def _sigma_payload(self, shard_id: int, fingerprint: str, sigma):
+        """The covariance payload for one batch: ndarray, descriptor or None.
 
         Runs the same :class:`~repro.serve.pool.ModelRoster` rule as
         :func:`repro.serve.pool.shard_serve_loop`, in the same (FIFO queue)
-        order, so the mirror cannot drift from the worker.
+        order, so the mirror cannot drift from the worker.  A resident
+        fingerprint is never re-shipped (``sigma_skips`` counts the saved
+        sends); under the shared-memory transport a ship is a descriptor
+        tuple and the matrix bytes are published at most once per
+        fingerprint cluster-wide.
         """
-        roster = self._rosters[shard_id]
-        if roster.get(fingerprint) is not None:
-            return False
-        roster.insert(fingerprint, True)
-        return True
+        with self._roster_lock:
+            roster = self._rosters[shard_id]
+            if roster.get(fingerprint) is not None:
+                with self._state_lock:
+                    self._stats.sigma_skips += 1
+                return None
+            if self._store is not None:
+                published_before = self._store.publish_count
+                payload = self._store.publish(fingerprint, sigma)
+                shipped_bytes = (
+                    sigma.nbytes if self._store.publish_count > published_before else 0
+                )
+            else:
+                payload = sigma
+                shipped_bytes = sigma.nbytes
+            roster.insert(fingerprint, True)
+        with self._state_lock:
+            self._stats.sigma_sends += 1
+            self._stats.sigma_bytes += shipped_bytes
+        return payload
+
+    # -- resizing --------------------------------------------------------------------
+    def _apply_resize(self, request: _Resize) -> None:
+        """Dispatcher-side fleet change (serialized with the flushes)."""
+        try:
+            target = max(1, request.n_shards)
+            while len(self._pool.shards) > target:
+                shard = self._pool.remove_shard()  # already asked to stop
+                self._retired.append(shard)
+                with self._roster_lock:
+                    roster = self._rosters.pop()
+                    for fingerprint in roster.fingerprints():
+                        self._on_roster_evict(fingerprint, None)
+            while len(self._pool.shards) < target:
+                shard = self._pool.add_shard()
+                with self._roster_lock:
+                    self._rosters.append(self._make_roster())
+                with self._state_lock:
+                    while len(self._stats.shards) <= shard.shard_id:
+                        self._stats.shards.append(
+                            ShardSnapshot(shard=len(self._stats.shards))
+                        )
+                    self._stats.shards[shard.shard_id] = ShardSnapshot(
+                        shard=shard.shard_id
+                    )
+                    self._dead_shards.discard(shard.shard_id)
+                collector = threading.Thread(
+                    target=self._collect_loop, args=(shard,), daemon=True,
+                    name=f"repro-serve-collector-{shard.shard_id}",
+                )
+                self._collectors.append(collector)
+                collector.start()
+                self._warm_start(shard.shard_id)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            request.error = exc
+        finally:
+            request.done.set()
+
+    def _warm_start(self, shard_id: int) -> None:
+        """Preload a fresh shard with the resident models it now owns.
+
+        Only meaningful under the shared-memory transport: fingerprints
+        held by *other* shards whose route moved to the new shard are
+        re-published (one extra segment reference, zero matrix copies) and
+        installed ahead of traffic, so scale-up does not serve its first
+        queries from a cold factor cache.
+        """
+        if self._store is None:
+            return
+        n_shards = len(self._pool.shards)
+        with self._roster_lock:
+            resident: set[str] = set()
+            for index, roster in enumerate(self._rosters):
+                if index != shard_id:
+                    resident.update(roster.fingerprints())
+            moved = [fp for fp in resident
+                     if shard_for_fingerprint(fp, n_shards) == shard_id]
+            descriptors = []
+            for fingerprint in moved:
+                descriptor = self._store.acquire(fingerprint)
+                if descriptor is None:
+                    continue
+                self._rosters[shard_id].insert(fingerprint, True)
+                descriptors.append((fingerprint, descriptor))
+        for fingerprint, descriptor in descriptors:
+            self._pool.send(shard_id, ("preload", fingerprint, descriptor))
+        if descriptors:
+            with self._state_lock:
+                self._stats.preloads += len(descriptors)
 
     # -- collectors ------------------------------------------------------------------
     #: how often an idle collector re-checks that its shard worker is alive
     _LIVENESS_INTERVAL = 0.5
 
-    def _collect_loop(self, shard_id: int) -> None:
-        responses = self._pool.response_queue(shard_id)
-        worker = self._pool.shards[shard_id].worker
+    def _collect_loop(self, shard) -> None:
+        shard_id = shard.shard_id
+        responses = shard.response_q
+        worker = shard.worker
         while True:
             try:
                 message = responses.get(timeout=self._LIVENESS_INTERVAL)
@@ -511,14 +688,25 @@ class QueryBroker:
                     self._fail_shard_inflight(
                         shard_id, "shard worker died without responding"
                     )
+                    self._release_dead_shard(shard)
                     if self._closed:
                         return
                 continue
             kind = message[0]
             if kind == "stopped":
                 with self._state_lock:
-                    self._apply_shard_stats(message[1])
+                    if self._shard_is_current(shard) or self._closed:
+                        self._apply_shard_stats(message[1])
                 return
+            if kind == "preloaded":
+                with self._state_lock:
+                    if self._shard_is_current(shard):
+                        self._apply_shard_stats(message[2])
+                continue
+            if kind == "preload-failed":
+                # the next batch for the fingerprint re-ships it; nothing to
+                # fail here (preloads carry no caller futures)
+                continue
             if kind == "ok":
                 _, batch_id, results, shard_stats = message
                 # process shards ship JSON-safe dicts (no pickled results);
@@ -533,10 +721,12 @@ class QueryBroker:
                         # the batch was already failed by the liveness check
                         # (response raced the worker's death); futures are
                         # resolved, slots released — nothing left to do
-                        self._apply_shard_stats(shard_stats)
+                        if self._shard_is_current(shard):
+                            self._apply_shard_stats(shard_stats)
                         continue
                     requests, _, dispatched_at = entry
-                    self._apply_shard_stats(shard_stats)
+                    if self._shard_is_current(shard):
+                        self._apply_shard_stats(shard_stats)
                     self._stats.completed += len(requests)
                     self._stats.queue_depth -= len(requests)
                 batch_size = len(requests)
@@ -574,6 +764,32 @@ class QueryBroker:
         for requests, _, _ in batches:
             for request in requests:
                 self._resolve(request.future, error=error)
+
+    def _shard_is_current(self, shard) -> bool:
+        """Whether the shard still occupies its routing slot (not retired)."""
+        shards = self._pool.shards
+        return shard.shard_id < len(shards) and shards[shard.shard_id] is shard
+
+    def _release_dead_shard(self, shard) -> None:
+        """Drop a dead shard's segment references (once per death).
+
+        The worker can no longer evict its models, so the broker releases
+        every fingerprint its roster mirror holds — without this, a killed
+        shard would pin its shared-memory segments until ``close()``.  The
+        mirror is reset so later batches routed to the (dead) slot ship the
+        covariance again rather than assume residency.
+        """
+        with self._state_lock:
+            if shard.shard_id in self._dead_shards:
+                return
+            self._dead_shards.add(shard.shard_id)
+        if not self._shard_is_current(shard):
+            return
+        with self._roster_lock:
+            roster = self._rosters[shard.shard_id]
+            self._rosters[shard.shard_id] = self._make_roster()
+        for fingerprint in roster.fingerprints():
+            self._on_roster_evict(fingerprint, None)
 
     def _apply_shard_stats(self, payload: dict) -> None:
         """Overwrite the shard's snapshot with its latest self-report."""

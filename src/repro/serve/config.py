@@ -18,10 +18,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["ServeConfig", "WORKER_MODES"]
+__all__ = ["ServeConfig", "WORKER_MODES", "SIGMA_TRANSPORTS"]
 
 #: accepted ``worker_mode`` values; ``"auto"`` resolves at pool start
 WORKER_MODES = ("auto", "thread", "process")
+
+#: accepted ``sigma_transport`` values; ``"auto"`` resolves at broker start
+SIGMA_TRANSPORTS = ("auto", "shm", "inline")
 
 
 @dataclass(frozen=True)
@@ -63,6 +66,15 @@ class ServeConfig:
     cache_entries : int
         Factor-cache capacity of each shard's solver; also caps the number
         of warm :class:`~repro.solver.Model` objects a shard keeps.
+    sigma_transport : str
+        How covariances travel to shards: ``"inline"`` ships the ndarray
+        through the shard queue (pickled for process shards), ``"shm"``
+        publishes each distinct Sigma once into a refcounted
+        ``multiprocessing.shared_memory`` segment and ships only a tiny
+        descriptor (see :class:`repro.serve.net.SharedSigmaStore`),
+        ``"auto"`` picks ``"shm"`` for process shards when the platform
+        supports it and ``"inline"`` otherwise (thread shards already share
+        the broker's address space, so inline is zero-copy there).
     """
 
     n_shards: int = 2
@@ -73,6 +85,7 @@ class ServeConfig:
     n_workers: int = 1
     policy: str = "prio"
     cache_entries: int = 8
+    sigma_transport: str = "auto"
 
     def __post_init__(self) -> None:
         for name in ("n_shards", "max_batch", "max_pending", "n_workers", "cache_entries"):
@@ -89,9 +102,38 @@ class ServeConfig:
         if not (float(self.batch_window) >= 0.0):
             raise ValueError("batch_window must be >= 0")
         object.__setattr__(self, "batch_window", float(self.batch_window))
+        transport = str(self.sigma_transport).lower()
+        if transport not in SIGMA_TRANSPORTS:
+            raise ValueError(
+                f"sigma_transport must be one of {SIGMA_TRANSPORTS}, "
+                f"got {self.sigma_transport!r}"
+            )
+        object.__setattr__(self, "sigma_transport", transport)
 
     def resolved_worker_mode(self) -> str:
         """The concrete worker mode ``"auto"`` resolves to on this machine."""
         if self.worker_mode != "auto":
             return self.worker_mode
         return "process" if (os.cpu_count() or 1) > 1 else "thread"
+
+    def resolved_sigma_transport(self) -> str:
+        """The concrete Sigma transport ``"auto"`` resolves to on this machine.
+
+        ``"auto"`` uses shared memory exactly when it pays: process shards
+        (inline would pickle the full matrix per shard) on a platform where
+        POSIX shared memory works.  An explicit ``"shm"`` is honored even
+        for thread shards — useful for exercising the segment lifecycle —
+        but raises if the platform lacks shared memory.
+        """
+        from repro.serve.net.transport import shm_available
+
+        if self.sigma_transport == "auto":
+            if self.resolved_worker_mode() == "process" and shm_available():
+                return "shm"
+            return "inline"
+        if self.sigma_transport == "shm" and not shm_available():
+            raise RuntimeError(
+                "sigma_transport='shm' requested but this platform has no "
+                "working POSIX shared memory; use 'inline' or 'auto'"
+            )
+        return self.sigma_transport

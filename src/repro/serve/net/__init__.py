@@ -1,0 +1,73 @@
+"""Distributed serving: gateway, shared-memory transport, placement, autoscaling.
+
+:mod:`repro.serve.net` takes the single-host :class:`repro.serve.QueryBroker`
+to a fleet of shard-nodes behind a network front end, in four layers:
+
+* :mod:`~repro.serve.net.gateway` — a JSON-lines ``asyncio`` server
+  (:class:`ServeGateway`) speaking ``MVNQuery.to_dict`` in /
+  ``MVNResult.to_dict`` out over the broker's ``submit_async``, plus the
+  blocking :class:`ServeClient` and the thread-hosted
+  :class:`BackgroundGateway` for synchronous callers.
+* :mod:`~repro.serve.net.transport` — zero-copy Sigma shipping to process
+  shards through refcounted ``multiprocessing.shared_memory`` segments
+  (:class:`SharedSigmaStore`), keyed by the existing covariance
+  fingerprints.
+* :mod:`~repro.serve.net.placement` — :class:`NodePool`, grouping shards
+  into simulated nodes and making a :class:`repro.distributed.ClusterSpec`-
+  costed replicate-vs-route decision per fingerprint.
+* :mod:`~repro.serve.net.autoscale` — :class:`Autoscaler`, growing and
+  shrinking the shard fleet from ``ServeStats.queue_depth`` with
+  dual-watermark hysteresis.
+
+See ``docs/serving.md`` ("Distributed serving") for the protocol and the
+lifecycle rules.
+
+>>> import numpy as np
+>>> from repro.query import MVNQuery
+>>> from repro.serve import QueryBroker, ServeConfig
+>>> from repro.serve.net import BackgroundGateway, ServeClient
+>>> sigma = np.array([[1.0, 0.5], [0.5, 1.0]])
+>>> broker = QueryBroker(ServeConfig(n_shards=1, worker_mode="thread"), "dense")
+>>> with broker, BackgroundGateway(broker) as gateway:
+...     with ServeClient(*gateway.address) as client:
+...         fp = client.register(sigma)
+...         result = client.query(MVNQuery([-np.inf, -np.inf], [0.0, 0.0],
+...                                        n_samples=400, rng=0),
+...                               fingerprint=fp)
+>>> 0.2 < result.probability < 0.45
+True
+"""
+
+from repro.serve.net.autoscale import Autoscaler, AutoscaleDecision
+from repro.serve.net.gateway import (
+    BackgroundGateway,
+    GatewayError,
+    PROTOCOL_VERSION,
+    ServeClient,
+    ServeGateway,
+)
+from repro.serve.net.placement import NodePool, PlacementDecision
+from repro.serve.net.transport import (
+    SegmentKeeper,
+    SharedSigmaStore,
+    attach_descriptor,
+    is_shm_descriptor,
+    shm_available,
+)
+
+__all__ = [
+    "ServeGateway",
+    "ServeClient",
+    "BackgroundGateway",
+    "GatewayError",
+    "PROTOCOL_VERSION",
+    "SharedSigmaStore",
+    "SegmentKeeper",
+    "attach_descriptor",
+    "is_shm_descriptor",
+    "shm_available",
+    "NodePool",
+    "PlacementDecision",
+    "Autoscaler",
+    "AutoscaleDecision",
+]

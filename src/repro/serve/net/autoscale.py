@@ -1,0 +1,199 @@
+"""Queue-depth autoscaling: grow and shrink the shard fleet with hysteresis.
+
+The :class:`Autoscaler` watches one signal — the broker's
+``ServeStats.queue_depth`` (submitted-but-unfinished requests, the number
+the ``max_pending`` backpressure limit applies to) — and resizes the shard
+count between configured bounds via :meth:`repro.serve.QueryBroker.resize`.
+
+Two standard guards keep it from flapping:
+
+* **dual watermarks** — growth triggers above ``high_water`` pending
+  requests per shard, shrink below ``low_water``; the dead band between
+  them absorbs ordinary load noise.
+* **patience counters** — the watermark must hold for ``grow_patience``
+  (resp. ``shrink_patience``) *consecutive* observations before the fleet
+  changes; any in-band observation resets both counters.  Shrinking is
+  deliberately more patient than growing (missing capacity costs latency
+  immediately; excess capacity only costs memory).
+
+New shards are warm-started from the broker's shared-memory sigma store:
+``resize`` re-publishes every resident fingerprint that re-routes to the
+new shard (see :meth:`repro.serve.QueryBroker.resize`), so scale-up does
+not start from a cold factor cache.
+
+:meth:`Autoscaler.tick` is a pure, injectable step (pass a stats snapshot
+to drive it deterministically in tests); :meth:`run` wraps it in a daemon
+thread for production use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["Autoscaler", "AutoscaleDecision"]
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One observation of the autoscaler control loop.
+
+    Attributes
+    ----------
+    tick : int
+        Monotone observation counter.
+    action : str
+        ``"grow"``, ``"shrink"`` or ``"hold"``.
+    n_shards : int
+        Shard count *after* the action.
+    queue_depth : int
+        The observed pending-request count that drove the decision.
+    reason : str
+        Human-readable rendering of the rule that fired.
+    """
+
+    tick: int
+    action: str
+    n_shards: int
+    queue_depth: int
+    reason: str
+
+
+class Autoscaler:
+    """Resize a broker's shard fleet from its queue depth, with hysteresis.
+
+    Parameters
+    ----------
+    broker : QueryBroker
+        The broker to resize (must support ``stats()``/``resize()``).
+    min_shards, max_shards : int
+        Inclusive bounds the fleet stays within.
+    high_water : float
+        Pending requests *per shard* above which the fleet wants to grow.
+    low_water : float
+        Pending requests per shard below which it wants to shrink.
+    grow_patience, shrink_patience : int
+        Consecutive out-of-band observations required before acting.
+    step : int
+        Shards added/removed per action.
+    """
+
+    def __init__(self, broker, min_shards: int = 1, max_shards: int = 4, *,
+                 high_water: float = 16.0, low_water: float = 2.0,
+                 grow_patience: int = 2, shrink_patience: int = 4,
+                 step: int = 1) -> None:
+        if not (1 <= int(min_shards) <= int(max_shards)):
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards, got {min_shards}/{max_shards}"
+            )
+        if not (0.0 <= float(low_water) < float(high_water)):
+            raise ValueError("need 0 <= low_water < high_water")
+        if int(grow_patience) < 1 or int(shrink_patience) < 1 or int(step) < 1:
+            raise ValueError("patience counters and step must be >= 1")
+        self.broker = broker
+        self.min_shards = int(min_shards)
+        self.max_shards = int(max_shards)
+        self.high_water = float(high_water)
+        self.low_water = float(low_water)
+        self.grow_patience = int(grow_patience)
+        self.shrink_patience = int(shrink_patience)
+        self.step = int(step)
+        self.decisions: list[AutoscaleDecision] = []
+        self._above = 0
+        self._below = 0
+        self._ticks = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- the control step ------------------------------------------------------------
+    def tick(self, stats=None) -> AutoscaleDecision:
+        """One control-loop observation; resizes the broker when a rule fires.
+
+        ``stats`` may be injected (tests, replay); ``None`` reads a live
+        snapshot from the broker.
+        """
+        if stats is None:
+            stats = self.broker.stats()
+        depth = int(stats.queue_depth)
+        n = int(self.broker.n_shards)
+        per_shard = depth / max(n, 1)
+        if per_shard > self.high_water:
+            self._above += 1
+            self._below = 0
+        elif per_shard < self.low_water:
+            self._below += 1
+            self._above = 0
+        else:
+            self._above = 0
+            self._below = 0
+
+        action = "hold"
+        reason = (
+            f"{depth} pending / {n} shards = {per_shard:.1f} in "
+            f"[{self.low_water:g}, {self.high_water:g}] band"
+        )
+        if self._above >= self.grow_patience and n < self.max_shards:
+            target = min(self.max_shards, n + self.step)
+            self.broker.resize(target)
+            action = "grow"
+            reason = (
+                f"{per_shard:.1f} pending/shard > {self.high_water:g} for "
+                f"{self._above} ticks: {n} -> {target} shards"
+            )
+            self._above = 0
+            self._below = 0
+            n = target
+        elif self._below >= self.shrink_patience and n > self.min_shards:
+            target = max(self.min_shards, n - self.step)
+            self.broker.resize(target)
+            action = "shrink"
+            reason = (
+                f"{per_shard:.1f} pending/shard < {self.low_water:g} for "
+                f"{self._below} ticks: {n} -> {target} shards"
+            )
+            self._above = 0
+            self._below = 0
+            n = target
+
+        self._ticks += 1
+        decision = AutoscaleDecision(
+            tick=self._ticks, action=action, n_shards=n,
+            queue_depth=depth, reason=reason,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    # -- background loop -------------------------------------------------------------
+    def run(self, interval: float = 0.25) -> "Autoscaler":
+        """Start ticking on a daemon thread every ``interval`` seconds."""
+        if self._thread is not None:
+            raise RuntimeError("autoscaler is already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                if getattr(self.broker, "closed", False):
+                    return
+                try:
+                    self.tick()
+                except RuntimeError:  # broker closed mid-tick
+                    return
+
+        self._thread = threading.Thread(
+            target=loop, daemon=True, name="repro-serve-autoscaler"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Stop the background loop (no-op if not running)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "Autoscaler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,205 @@
+"""Network-aware model placement: replicate hot factors, route cold ones.
+
+A :class:`NodePool` groups shards into (simulated) nodes connected by a
+:class:`repro.distributed.ClusterSpec` network.  For every covariance
+fingerprint it makes one explicit, costed decision — the estee-style
+separation of placement policy from transport cost that PR 6 proved for
+task scheduling, applied one level up to *models and queries*:
+
+* **route** — keep a single factorized copy on the fingerprint's home node
+  and forward every query there.  Each forwarded query pays one network
+  round trip (limits out, result back) but the factorization is paid once
+  cluster-wide.
+* **replicate** — factorize the model on every node.  Queries run on their
+  origin node with zero network cost, at the price of shipping Sigma once
+  per node (``8 n^2`` bytes) plus one factorization per node
+  (:class:`repro.perf.PMVNCostModel` cholesky / compression terms).
+
+The rule is the classic break-even:  replicate exactly when the predicted
+routed traffic — fetch cost per query times the expected number of hits —
+exceeds the cost of installing the replicas.  The decision is memoized per
+fingerprint so the serving path and the benchmark simulator see identical
+placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.cluster import ClusterSpec
+from repro.perf.models import PMVNCostModel
+from repro.serve.pool import shard_for_fingerprint
+
+__all__ = ["NodePool", "PlacementDecision"]
+
+#: wire overhead per routed query beyond the raw limit vectors (envelope,
+#: result payload, queue descriptors) — a coarse protocol constant
+_QUERY_OVERHEAD_BYTES = 256.0
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The memoized replication-vs-routing verdict for one fingerprint.
+
+    Attributes
+    ----------
+    fingerprint : str
+        The covariance fingerprint the decision applies to.
+    n : int
+        Problem dimension (drives both transfer and factorization cost).
+    action : str
+        ``"replicate"`` (factor installed on every node) or ``"route"``
+        (single home copy, queries forwarded).
+    home_node : int
+        The node owning the single copy under routing (also the consistent
+        anchor under replication).
+    expected_hits : float
+        Query-count forecast the decision was made with.
+    route_cost_per_hit : float
+        Predicted network seconds one forwarded query pays (round trip).
+    replicate_cost : float
+        Predicted one-time seconds to install the extra replicas (Sigma
+        broadcast + per-node factorization).
+    reason : str
+        Human-readable rendering of the inequality that decided.
+    """
+
+    fingerprint: str
+    n: int
+    action: str
+    home_node: int
+    expected_hits: float
+    route_cost_per_hit: float
+    replicate_cost: float
+    reason: str
+
+    @property
+    def replicated(self) -> bool:
+        """Whether the factor lives on every node."""
+        return self.action == "replicate"
+
+
+class NodePool:
+    """Shards grouped into nodes, with costed per-fingerprint placement.
+
+    Parameters
+    ----------
+    n_nodes : int
+        Number of (simulated) nodes the shard fleet spans.
+    shards_per_node : int
+        Warm solver shards hosted by each node; total shard count is
+        ``n_nodes * shards_per_node``.
+    cluster : ClusterSpec, optional
+        Network/compute cost source; defaults to ``ClusterSpec(n_nodes)``
+        (one Shaheen-class node each, 10 GB/s / 1.3 us network).
+    tile_size, mean_rank : optional
+        TLR geometry forwarded to the factorization cost model.
+
+    >>> pool = NodePool(n_nodes=4)
+    >>> hot = pool.decide("ab" * 32, n=2048, expected_hits=100000.0)
+    >>> cold = pool.decide("cd" * 32, n=2048, expected_hits=100.0)
+    >>> hot.action, cold.action
+    ('replicate', 'route')
+    """
+
+    def __init__(self, n_nodes: int, shards_per_node: int = 1,
+                 cluster: ClusterSpec | None = None, *,
+                 tile_size: int = 512, mean_rank: float = 12.0) -> None:
+        if int(n_nodes) < 1 or int(shards_per_node) < 1:
+            raise ValueError("n_nodes and shards_per_node must be >= 1")
+        self.n_nodes = int(n_nodes)
+        self.shards_per_node = int(shards_per_node)
+        self.cluster = cluster if cluster is not None else ClusterSpec(self.n_nodes)
+        if self.cluster.n_nodes != self.n_nodes:
+            raise ValueError(
+                f"cluster models {self.cluster.n_nodes} nodes, pool has {self.n_nodes}"
+            )
+        self.tile_size = int(tile_size)
+        self.mean_rank = float(mean_rank)
+        self._cost = PMVNCostModel(
+            self.cluster.node,
+            blas_efficiency=self.cluster.blas_efficiency,
+            sweep_efficiency=self.cluster.sweep_efficiency,
+        )
+        self._decisions: dict[str, PlacementDecision] = {}
+
+    @property
+    def n_shards(self) -> int:
+        """Total shard count across the node fleet."""
+        return self.n_nodes * self.shards_per_node
+
+    def home_node(self, fingerprint: str) -> int:
+        """Consistent home node of a fingerprint (same hash as shard routing)."""
+        return shard_for_fingerprint(fingerprint, self.n_nodes)
+
+    # -- cost terms ------------------------------------------------------------------
+    def query_bytes(self, n: int) -> float:
+        """Wire bytes of one forwarded query (limits + envelope)."""
+        return 2.0 * 8.0 * n + _QUERY_OVERHEAD_BYTES
+
+    def route_cost_per_hit(self, n: int) -> float:
+        """Network seconds one routed query pays: request out, result back."""
+        request = self.cluster.transfer_seconds(self.query_bytes(n))
+        response = self.cluster.transfer_seconds(_QUERY_OVERHEAD_BYTES)
+        return request + response
+
+    def replicate_cost(self, n: int, method: str = "dense") -> float:
+        """One-time seconds to install replicas on the non-home nodes."""
+        extra_nodes = self.n_nodes - 1
+        if extra_nodes <= 0:
+            return 0.0
+        sigma_bytes = 8.0 * float(n) * float(n)
+        install = self._cost.cholesky_time(n, method, self.tile_size, self.mean_rank)
+        if method != "dense":
+            install += self._cost.compression_time(n, self.tile_size, self.mean_rank)
+        return extra_nodes * (self.cluster.transfer_seconds(sigma_bytes) + install)
+
+    # -- the decision ----------------------------------------------------------------
+    def decide(self, fingerprint: str, n: int, expected_hits: float,
+               method: str = "dense") -> PlacementDecision:
+        """Memoized replicate-vs-route decision for one fingerprint."""
+        decision = self._decisions.get(fingerprint)
+        if decision is not None:
+            return decision
+        home = self.home_node(fingerprint)
+        route_hit = self.route_cost_per_hit(int(n))
+        replicate = self.replicate_cost(int(n), method)
+        # queries originating on the home node never pay the network, so
+        # only the off-home fraction of the traffic counts toward routing
+        off_home = expected_hits * (self.n_nodes - 1) / max(self.n_nodes, 1)
+        routed_traffic = off_home * route_hit
+        if self.n_nodes > 1 and routed_traffic > replicate:
+            action = "replicate"
+            relation = ">"
+        else:
+            action = "route"
+            relation = "<="
+        reason = (
+            f"predicted routed traffic {routed_traffic:.3g}s "
+            f"({off_home:.0f} off-home hits x {route_hit:.3g}s) {relation} "
+            f"replicate cost {replicate:.3g}s"
+        )
+        decision = PlacementDecision(
+            fingerprint=fingerprint, n=int(n), action=action, home_node=home,
+            expected_hits=float(expected_hits), route_cost_per_hit=route_hit,
+            replicate_cost=replicate, reason=reason,
+        )
+        self._decisions[fingerprint] = decision
+        return decision
+
+    def execution_node(self, fingerprint: str, origin_node: int) -> int:
+        """The node a query runs on, given where it arrived.
+
+        Requires a prior :meth:`decide` for the fingerprint; replicated
+        factors serve locally, routed ones forward to the home node.
+        """
+        decision = self._decisions.get(fingerprint)
+        if decision is None:
+            raise KeyError(f"no placement decision for {fingerprint[:12]}...")
+        if decision.replicated:
+            return int(origin_node) % self.n_nodes
+        return decision.home_node
+
+    def decisions(self) -> dict[str, PlacementDecision]:
+        """All memoized decisions, keyed by fingerprint."""
+        return dict(self._decisions)

@@ -1,0 +1,267 @@
+"""Zero-copy covariance transport: shared-memory Sigma segments.
+
+Process shards historically received each covariance *pickled through a
+``multiprocessing`` queue* — an ``n = 4096`` float64 Sigma is 128 MB per
+copy, serialized once per shard that needs it.  This module replaces that
+with POSIX shared memory: the broker publishes each distinct covariance
+into one :class:`multiprocessing.shared_memory.SharedMemory` segment keyed
+by its content fingerprint (:func:`repro.batch.cache.sigma_fingerprint`),
+and ships only a tiny *descriptor* tuple over the queue.  The worker maps
+the segment and builds its :class:`repro.solver.Model` directly on the
+shared buffer — zero copies on the worker side.
+
+Lifecycle is refcounted broker-side by :class:`SharedSigmaStore`: one
+reference per shard whose :class:`~repro.serve.pool.ModelRoster` mirror
+holds the fingerprint.  When the last roster evicts it (or the broker
+closes), the segment is unlinked.  Worker-side handles are managed by
+:class:`SegmentKeeper`, which defers ``close()`` while a numpy view is
+still alive (closing a mapped buffer raises ``BufferError``).
+
+Two CPython sharp edges this module encapsulates (both verified against
+the 3.11 implementation):
+
+* ``SharedMemory.__init__`` registers the segment with the
+  ``resource_tracker`` on *attach* as well as on create (bpo-39959).  That
+  is harmless here — worker processes inherit the broker's tracker (its fd
+  rides in the ``multiprocessing`` spawn preparation data), and the tracker
+  keeps segment names in a *set*, so the creator's and every attacher's
+  registration collapse into one entry that ``unlink()`` balances with its
+  single internal unregister.  Attachers must therefore **not** unregister
+  themselves: a second unregister for the collapsed entry crashes the
+  shared tracker with a ``KeyError``.  The tracker doubles as crash
+  insurance — a broker that dies without unlinking still gets its segments
+  reclaimed at interpreter exit.
+* POSIX allows unlink-while-mapped: readers holding a mapping keep working
+  after the creator unlinks, which is what makes broker-side refcounting
+  safe even when a release races a worker still sweeping.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedSigmaStore",
+    "SegmentKeeper",
+    "attach_descriptor",
+    "is_shm_descriptor",
+    "shm_available",
+    "SHM_TAG",
+]
+
+#: leading element of a shared-memory descriptor tuple on the shard protocol
+SHM_TAG = "__shm__"
+
+
+def is_shm_descriptor(payload) -> bool:
+    """Whether a shard-protocol sigma payload is a shared-memory descriptor."""
+    return isinstance(payload, tuple) and len(payload) == 5 and payload[0] == SHM_TAG
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory works on this platform (probed once)."""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=8)
+            segment.close()
+            segment.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:  # pragma: no cover - exotic platforms only
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+_SHM_AVAILABLE: bool | None = None
+
+
+def attach_descriptor(descriptor) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map a descriptor to a read-only ndarray view plus its open handle.
+
+    The caller owns the returned :class:`SharedMemory` handle (typically
+    via a :class:`SegmentKeeper`) and must keep it open for as long as the
+    array view is in use.  Attaching re-registers the name with the shared
+    resource tracker; that duplicate collapses with the creator's entry
+    and must stay (see the module docstring) — unlink ownership remains
+    exclusively with the broker-side :class:`SharedSigmaStore`.
+    """
+    if not is_shm_descriptor(descriptor):
+        raise ValueError(f"not a shared-memory descriptor: {descriptor!r}")
+    _, name, shape, dtype, owner_pid = descriptor
+    segment = shared_memory.SharedMemory(name=name)
+    array: np.ndarray = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                                   buffer=segment.buf)
+    array.flags.writeable = False
+    return array, segment
+
+
+class SegmentKeeper:
+    """Worker-side registry of attached segments with deferred close.
+
+    A shard's warm :class:`repro.solver.Model` holds a live view of its
+    Sigma segment, so the handle cannot close at the moment the roster
+    evicts the model — the Model object is still referenced on the eviction
+    code path.  ``drop`` therefore moves the handle to a pending list and
+    :meth:`sweep` retries the close once the view has actually been
+    garbage-collected (the worker calls it between batches).
+    """
+
+    def __init__(self) -> None:
+        self._handles: dict[str, shared_memory.SharedMemory] = {}
+        self._pending: list[shared_memory.SharedMemory] = []
+
+    def __len__(self) -> int:
+        return len(self._handles) + len(self._pending)
+
+    def adopt(self, fingerprint: str, segment: shared_memory.SharedMemory) -> None:
+        """Take ownership of one attached segment handle."""
+        previous = self._handles.pop(fingerprint, None)
+        if previous is not None:  # pragma: no cover - double-ship defensive path
+            self._pending.append(previous)
+        self._handles[fingerprint] = segment
+
+    def drop(self, fingerprint: str) -> None:
+        """Schedule the fingerprint's segment handle for closing."""
+        segment = self._handles.pop(fingerprint, None)
+        if segment is not None:
+            self._pending.append(segment)
+
+    def sweep(self) -> None:
+        """Close every pending handle whose buffer views are gone."""
+        still_pending = []
+        for segment in self._pending:
+            try:
+                segment.close()
+            except BufferError:  # a view is still alive; retry next sweep
+                still_pending.append(segment)
+        self._pending = still_pending
+
+    def close_all(self) -> None:
+        """Best-effort close of every handle (worker shutdown path)."""
+        for segment in list(self._handles.values()) + self._pending:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - process exit reclaims it
+                pass
+        self._handles.clear()
+        self._pending.clear()
+
+
+class _StoreEntry:
+    __slots__ = ("segment", "shape", "dtype", "refs")
+
+    def __init__(self, segment, shape, dtype) -> None:
+        self.segment = segment
+        self.shape = shape
+        self.dtype = dtype
+        self.refs = 0
+
+
+class SharedSigmaStore:
+    """Broker-side refcounted registry of published Sigma segments.
+
+    One entry per covariance fingerprint; the refcount is the number of
+    shard rosters currently holding the fingerprint.  Segment names are
+    generated by the OS (never derived from the fingerprint), so a
+    re-publish after full release can never collide with a stale mapping.
+
+    ``created_names`` records every segment name the store ever created —
+    the leak tests attach-probe each name after ``close()`` to prove
+    nothing survived.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _StoreEntry] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        #: every segment name ever created (for leak auditing; never pruned)
+        self.created_names: list[str] = []
+        #: total publishes that allocated + copied a new segment
+        self.publish_count = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def publish(self, fingerprint: str, sigma: np.ndarray) -> tuple:
+        """Ensure a segment holds ``sigma``; acquire one reference.
+
+        Returns the descriptor tuple to ship on the shard protocol.  The
+        single producer-side copy (into the segment) happens only on the
+        first publish of a fingerprint.
+        """
+        sigma = np.ascontiguousarray(np.asarray(sigma, dtype=np.float64))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedSigmaStore is closed")
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                segment = shared_memory.SharedMemory(create=True, size=sigma.nbytes)
+                view: np.ndarray = np.ndarray(sigma.shape, dtype=sigma.dtype,
+                                              buffer=segment.buf)
+                view[...] = sigma
+                del view
+                entry = _StoreEntry(segment, sigma.shape, str(sigma.dtype))
+                self._entries[fingerprint] = entry
+                self.created_names.append(segment.name)
+                self.publish_count += 1
+            entry.refs += 1
+            return (SHM_TAG, entry.segment.name, entry.shape, entry.dtype,
+                    os.getpid())
+
+    def acquire(self, fingerprint: str) -> tuple | None:
+        """Acquire one extra reference on an already-published fingerprint.
+
+        Used to warm-start a new shard from segments other shards hold;
+        returns the descriptor, or ``None`` if the fingerprint is not
+        resident (the next query will re-publish it).
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None or self._closed:
+                return None
+            entry.refs += 1
+            return (SHM_TAG, entry.segment.name, entry.shape, entry.dtype,
+                    os.getpid())
+
+    def release(self, fingerprint: str) -> None:
+        """Drop one reference; unlink the segment when none remain.
+
+        Unknown fingerprints are ignored (a shard death may release a
+        roster that was already torn down).
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return
+            entry.refs -= 1
+            if entry.refs > 0:
+                return
+            del self._entries[fingerprint]
+            segment = entry.segment
+        segment.close()
+        segment.unlink()
+
+    def live_names(self) -> list[str]:
+        """Names of the segments currently held (empty after ``close``)."""
+        with self._lock:
+            return [entry.segment.name for entry in self._entries.values()]
+
+    def close(self) -> None:
+        """Unlink every remaining segment; the store refuses further use."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            try:
+                entry.segment.close()
+                entry.segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass

@@ -61,6 +61,11 @@ class ModelRoster:
     Both sides run the *same* get/insert/evict rule below, so the mirror
     cannot drift by construction.
 
+    An optional ``on_evict(fingerprint, value)`` callback observes every
+    capacity eviction — the shared-memory transport hooks it on both
+    sides: the broker mirror releases the segment refcount, the worker
+    schedules its segment handle for closing.
+
     >>> roster = ModelRoster(capacity=2)
     >>> roster.get("a") is None
     True
@@ -69,10 +74,11 @@ class ModelRoster:
     (2, None, 3)
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, on_evict=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
+        self.on_evict = on_evict
         self._entries: OrderedDict[str, object] = OrderedDict()
 
     def __len__(self) -> int:
@@ -89,7 +95,13 @@ class ModelRoster:
         """Add a fingerprint, evicting least-recently-used beyond capacity."""
         self._entries[fingerprint] = value
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_fp, evicted_value = self._entries.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(evicted_fp, evicted_value)
+
+    def fingerprints(self) -> list[str]:
+        """The resident fingerprints, least-recently-used first."""
+        return list(self._entries)
 
 
 def shard_for_fingerprint(fingerprint: str, n_shards: int) -> int:
@@ -117,15 +129,32 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
     thread mode runs the identical function in-process.  With
     ``serialize_results`` (process mode) each result ships as its JSON-safe
     :meth:`~repro.mvn.result.MVNResult.to_dict` payload.
+
+    The ``sigma`` slot of a batch message is either an ndarray (inline
+    transport), a shared-memory descriptor tuple (the worker attaches the
+    segment and builds the model zero-copy on the shared buffer), or
+    ``None`` when the model is already resident — the roster mirror's
+    fast path means a resident fingerprint is *never* re-shipped.
     """
     # imported here so a spawned process pays its import cost in the worker
+    from repro.serve.net.transport import (
+        SegmentKeeper,
+        attach_descriptor,
+        is_shm_descriptor,
+    )
     from repro.solver import MVNSolver
 
     solver = MVNSolver(solver_config, n_workers=n_workers, policy=policy,
                        cache_entries=cache_entries)
-    models = ModelRoster(cache_entries)
+    segments = SegmentKeeper()
+    # the evicted Model is still referenced by the eviction call frame, so
+    # its segment close is deferred; segments.sweep() below retries once the
+    # view is actually gone
+    models = ModelRoster(cache_entries,
+                         on_evict=lambda fp, _model: segments.drop(fp))
     batches = 0
     requests = 0
+    redundant_sigmas = 0
 
     def stats() -> dict:
         cache = solver.cache
@@ -137,26 +166,54 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
             "factorize_count": cache.factorize_count if cache else 0,
             "cache_hits": cache.hits if cache else 0,
             "cache_misses": cache.misses if cache else 0,
+            "redundant_sigmas": redundant_sigmas,
         }
+
+    def resident_model(fingerprint, sigma):
+        nonlocal redundant_sigmas
+        model = models.get(fingerprint)
+        if model is not None:
+            if sigma is not None:
+                # the broker's mirror should have elided this ship; count
+                # it so the duplicate-send accounting surfaces the bug
+                # instead of silently re-copying megabytes
+                redundant_sigmas += 1
+            return model
+        if sigma is None:
+            raise RuntimeError(
+                f"shard {shard_id} received fingerprint {fingerprint[:12]}... "
+                "without its covariance (routing bug)"
+            )
+        if is_shm_descriptor(sigma):
+            sigma_arr, segment = attach_descriptor(sigma)
+            segments.adopt(fingerprint, segment)
+        else:
+            sigma_arr = np.asarray(sigma, dtype=np.float64)
+        model = solver.model(sigma_arr)
+        models.insert(fingerprint, model)
+        return model
 
     try:
         while True:
             message = request_q.get()
+            segments.sweep()
             if message[0] == "stop":
                 response_q.put(("stopped", stats()))
                 return
+            if message[0] == "preload":
+                # autoscaling warm-start: install the model ahead of traffic
+                _, fingerprint, sigma = message
+                try:
+                    resident_model(fingerprint, sigma)
+                    response_q.put(("preloaded", fingerprint, stats()))
+                except Exception as exc:  # noqa: BLE001 - report, keep serving
+                    response_q.put(("preload-failed", fingerprint,
+                                    f"{type(exc).__name__}: {exc}"))
+                continue
             (_, batch_id, fingerprint, sigma, boxes, means, n_samples, qmc,
              seed, target_error, max_samples) = message
             try:
-                model = models.get(fingerprint)
-                if model is None:
-                    if sigma is None:
-                        raise RuntimeError(
-                            f"shard {shard_id} received fingerprint {fingerprint[:12]}... "
-                            "without its covariance (routing bug)"
-                        )
-                    model = solver.model(np.asarray(sigma, dtype=np.float64))
-                    models.insert(fingerprint, model)
+                model = resident_model(fingerprint, sigma)
                 results = model.probability_batch(
                     boxes, means=means, n_samples=n_samples, qmc=qmc, rng=seed,
                     target_error=target_error, max_samples=max_samples,
@@ -170,6 +227,11 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
                 response_q.put(("error", batch_id, f"{type(exc).__name__}: {exc}"))
     finally:
         solver.close()
+        # drop the warm models first so their segment views die with them;
+        # close_all tolerates any view the GC has not collected yet (the
+        # process exit — or the broker's unlink — reclaims the segment)
+        models = None
+        segments.close_all()
 
 
 class _Shard:
@@ -241,11 +303,37 @@ class ShardPool:
                 "(resolve 'auto' via ServeConfig.resolved_worker_mode first)"
             )
         self.worker_mode = worker_mode
-        args = (solver_config, n_workers, policy, cache_entries)
-        self.shards = [_Shard(i, worker_mode, args) for i in range(n_shards)]
+        self._shard_args = (solver_config, n_workers, policy, cache_entries)
+        self.shards = [_Shard(i, worker_mode, self._shard_args)
+                       for i in range(n_shards)]
 
     def __len__(self) -> int:
         return len(self.shards)
+
+    def add_shard(self) -> _Shard:
+        """Grow the pool by one started shard (autoscaling path).
+
+        The new shard joins the routing domain immediately: callers must
+        only invoke this from the broker's dispatcher thread, which owns
+        routing (``route`` results must not change under a flush).
+        """
+        shard = _Shard(len(self.shards), self.worker_mode, self._shard_args)
+        self.shards.append(shard)
+        shard.start()
+        return shard
+
+    def remove_shard(self) -> _Shard:
+        """Shrink the pool by its tail shard; returns the retired shard.
+
+        The shard leaves the routing domain at once but keeps draining its
+        queued batches; the caller asks it to stop and joins it later
+        (its collector sees ``("stopped", ...)`` after the drain).
+        """
+        if len(self.shards) <= 1:
+            raise ValueError("cannot remove the last shard")
+        shard = self.shards.pop()
+        shard.request_q.put(("stop",))
+        return shard
 
     def start(self) -> None:
         """Launch every shard worker (thread or process)."""

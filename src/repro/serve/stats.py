@@ -33,6 +33,10 @@ class ShardSnapshot:
         healthy shard factorizes once per distinct covariance and serves
         the rest from the warm model, so ``factorize_count`` should track
         the number of distinct Sigmas routed to the shard.
+    redundant_sigmas : int
+        Covariances the shard received while already holding the
+        fingerprint.  Always ``0`` when the broker's roster mirror is
+        working — a non-zero value is the duplicate-send bug surfacing.
     """
 
     shard: int
@@ -42,6 +46,7 @@ class ShardSnapshot:
     factorize_count: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    redundant_sigmas: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -69,6 +74,19 @@ class ServeStats:
         High-water mark of ``queue_depth``.
     max_batch : int
         The configured micro-batch capacity (denominator of the fill ratio).
+    sigma_sends : int
+        Covariances actually shipped to shards (first arrival of a
+        fingerprint at a shard, or re-arrival after roster eviction).
+    sigma_skips : int
+        Batches dispatched *without* re-shipping Sigma because the shard's
+        roster mirror showed the model already resident — the
+        duplicate-send fast path.
+    sigma_bytes : int
+        Total covariance bytes shipped (for the shared-memory transport
+        this is bytes *published once per fingerprint*, not per shard —
+        extra shards attach the same segment for free).
+    preloads : int
+        Warm-start shipments to freshly added shards (autoscaling).
     shards : list of ShardSnapshot
         Per-shard execution counters, in shard order.
     """
@@ -81,6 +99,10 @@ class ServeStats:
     queue_depth: int = 0
     max_queue_depth: int = 0
     max_batch: int = 0
+    sigma_sends: int = 0
+    sigma_skips: int = 0
+    sigma_bytes: int = 0
+    preloads: int = 0
     shards: list[ShardSnapshot] = field(default_factory=list)
 
     @property
@@ -107,6 +129,11 @@ class ServeStats:
             "batches": self.batches,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
+            "max_batch": self.max_batch,
+            "sigma_sends": self.sigma_sends,
+            "sigma_skips": self.sigma_skips,
+            "sigma_bytes": self.sigma_bytes,
+            "preloads": self.preloads,
             "mean_batch_size": self.mean_batch_size,
             "batch_fill_ratio": self.batch_fill_ratio,
             "shards": [
@@ -118,6 +145,7 @@ class ServeStats:
                     "factorize_count": s.factorize_count,
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
+                    "redundant_sigmas": s.redundant_sigmas,
                     "hit_rate": s.hit_rate,
                 }
                 for s in self.shards
@@ -127,19 +155,31 @@ class ServeStats:
     @classmethod
     def from_dict(cls, payload: dict, max_batch: int = 0) -> "ServeStats":
         """Rebuild a snapshot from :meth:`as_dict` output (derived fields
-        like the ratios are recomputed, not read)."""
+        like the ratios are recomputed, not read).
+
+        ``max_batch`` rides in the payload, so the round trip is lossless;
+        the keyword survives only as a fallback for payloads written before
+        the field existed (it must not silently zero a real limit — the
+        gateway's ``stats`` op depends on the fill ratio surviving).
+        """
         counters = {
             name: payload[name]
             for name in ("submitted", "completed", "failed", "rejected",
                          "batches", "queue_depth", "max_queue_depth")
         }
+        for name in ("sigma_sends", "sigma_skips", "sigma_bytes", "preloads"):
+            counters[name] = payload.get(name, 0)
         shard_fields = ("shard", "batches", "requests", "models",
                         "factorize_count", "cache_hits", "cache_misses")
         shards = [
-            ShardSnapshot(**{name: entry[name] for name in shard_fields})
+            ShardSnapshot(
+                redundant_sigmas=entry.get("redundant_sigmas", 0),
+                **{name: entry[name] for name in shard_fields},
+            )
             for entry in payload.get("shards", [])
         ]
-        return cls(max_batch=max_batch, shards=shards, **counters)
+        return cls(max_batch=payload.get("max_batch", max_batch),
+                   shards=shards, **counters)
 
     def render(self) -> str:
         """Human-readable multi-line summary (what ``repro serve-bench`` prints)."""
@@ -149,6 +189,8 @@ class ServeStats:
             f"batches={self.batches} mean_batch_size={self.mean_batch_size:.2f} "
             f"batch_fill_ratio={self.batch_fill_ratio:.2f} "
             f"max_queue_depth={self.max_queue_depth}",
+            f"sigma_sends={self.sigma_sends} sigma_skips={self.sigma_skips} "
+            f"sigma_bytes={self.sigma_bytes} preloads={self.preloads}",
         ]
         for s in self.shards:
             lines.append(

@@ -44,6 +44,12 @@ API_SECTIONS: tuple[tuple[str, str], ...] = (
         "solvers.",
     ),
     (
+        "repro.serve.net",
+        "Multi-node serving: the asyncio JSON gateway, the shared-memory "
+        "Sigma transport, network-aware shard placement, and queue-depth "
+        "autoscaling.",
+    ),
+    (
         "repro.core.api",
         "The one-shot functional wrappers (transient solver per call).",
     ),

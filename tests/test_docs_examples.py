@@ -35,6 +35,8 @@ import repro.query.planner
 import repro.query.spec
 import repro.serve
 import repro.serve.broker
+import repro.serve.net
+import repro.serve.net.placement
 import repro.serve.pool
 import repro.solver
 import repro.solver.solver
@@ -63,7 +65,8 @@ class TestDoctests:
         "module",
         [repro, repro.batch, repro.batch.batched, repro.batch.cache,
          repro.mvn.result, repro.query, repro.query.planner, repro.query.spec,
-         repro.serve, repro.serve.broker, repro.serve.pool,
+         repro.serve, repro.serve.broker, repro.serve.net,
+         repro.serve.net.placement, repro.serve.pool,
          repro.solver, repro.solver.solver],
         ids=lambda m: m.__name__,
     )

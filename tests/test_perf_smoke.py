@@ -15,6 +15,7 @@ import json
 
 import pytest
 
+from repro.perf.distributed_serving import run_distributed_serving_benchmark
 from repro.perf.hotpath import run_hotpath_benchmark
 from repro.perf.planner import run_planner_benchmark
 from repro.perf.scheduler import run_scheduler_benchmark
@@ -94,6 +95,41 @@ def test_serving_benchmark_smoke(tmp_path):
     assert sum(s["factorize_count"] for s in stats["shards"]) == 2
     assert record["paths"]["served"]["elapsed"] > 0.0
     assert record["gate"]["threshold"] == 3.0
+
+
+def test_distributed_serving_benchmark_smoke(tmp_path):
+    """Tiny multi-node run: placement, simulation, parity, JSON — no gate.
+
+    Timing-derived figures at this scale are noise, so the simulated
+    *scaling* value is not asserted — only that the plumbing produces it,
+    that every covariance got a placement decision, and that the real
+    multi-shard broker answered bit-identically to the single-shard one.
+    """
+    json_path = tmp_path / "BENCH_distributed_serving.json"
+    record = run_distributed_serving_benchmark(
+        n_small=25, n_large=64, n_queries=32, n_samples=60,
+        parity_queries=16, json_path=json_path,
+    )
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "distributed_serving"
+    assert on_disk["workload"]["n_queries"] == 32
+
+    assert record["parity"]["bit_identical"]
+    assert record["gate"]["threshold"] == 3.0
+    assert [sim["n_nodes"] for sim in record["simulation"]] == [1, 2, 4]
+    for sim in record["simulation"]:
+        assert sim["queries_per_second"] > 0.0
+        assert 0.0 < sim["parallel_efficiency"] <= 1.0
+        assert len(sim["placements"]) == record["workload"]["n_sigmas"]
+        assert sim["replicated_factors"] + sim["routed_factors"] == \
+            record["workload"]["n_sigmas"]
+    # every Sigma's simulated costs are real measurements on this machine
+    for profile in record["calibration"]:
+        assert profile["factorize_seconds"] >= 0.0
+        assert profile["sweep_seconds_per_query"] > 0.0
+        assert profile["method"] in ("dense", "tlr")
 
 
 def test_planner_benchmark_smoke(tmp_path):

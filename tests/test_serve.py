@@ -414,3 +414,134 @@ class TestLifecycleAndErrors:
 
         result = asyncio.run(query())
         assert 0.0 <= result.probability <= 1.0
+
+
+class TestAsyncServing:
+    """`submit_async` under real event loops: gather, cancel, shutdown."""
+
+    def test_concurrent_gather_mixed_fingerprints(self, thread_broker):
+        sigmas = [_spd(5, seed=seed) for seed in range(3)]
+        boxes = _boxes(5, 6, seed=3)
+
+        async def run():
+            coros = [
+                thread_broker.submit_async(a, b, sigmas[i % 3], rng=i)
+                for i, (a, b) in enumerate(boxes)
+            ]
+            return await asyncio.gather(*coros)
+
+        results = asyncio.run(run())
+        # parity: the same queries submitted synchronously, one at a time
+        for i, ((a, b), got) in enumerate(zip(boxes, results)):
+            expected = thread_broker.submit(a, b, sigmas[i % 3], rng=i).result()
+            assert got.probability == expected.probability
+            assert got.error == expected.error
+
+    def test_cancelled_future_does_not_wedge_the_broker(self):
+        broker = QueryBroker(
+            ServeConfig(n_shards=1, worker_mode="thread", batch_window=0.2),
+            SolverConfig(method="dense", n_samples=200),
+        )
+        try:
+            sigma = _spd(4, seed=31)
+            a, b = _boxes(4, 1)[0]
+
+            async def cancel_one():
+                task = asyncio.ensure_future(
+                    broker.submit_async(a, b, sigma, rng=0))
+                await asyncio.sleep(0)      # let it get submitted
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+
+            asyncio.run(cancel_one())
+            # the broker tolerates resolving a cancelled future and the slot
+            # is released: later submissions still complete
+            result = broker.submit(a, b, sigma, rng=1).result(timeout=60)
+            assert 0.0 <= result.probability <= 1.0
+            assert broker.stats().queue_depth == 0
+        finally:
+            broker.close()
+
+    def test_close_drains_in_flight_async_waiters(self):
+        broker = QueryBroker(
+            ServeConfig(n_shards=2, worker_mode="thread", batch_window=0.01),
+            SolverConfig(method="dense", n_samples=2000),
+        )
+        sigma = _spd(8, seed=32)
+        boxes = _boxes(8, 8, seed=5)
+
+        async def run():
+            coros = [
+                broker.submit_async(a, b, sigma, rng=i)
+                for i, (a, b) in enumerate(boxes)
+            ]
+            gathered = asyncio.gather(*coros)
+            # close from a worker thread while the waiters are pending;
+            # close() drains, so every future must complete, not error
+            closer = asyncio.get_running_loop().run_in_executor(
+                None, broker.close)
+            results = await gathered
+            await closer
+            return results
+
+        results = asyncio.run(run())
+        assert len(results) == 8
+        assert all(0.0 <= r.probability <= 1.0 for r in results)
+        assert broker.closed
+
+
+class TestSigmaAccounting:
+    """Ship-once bookkeeping: a resident Sigma is never re-sent."""
+
+    def test_resident_sigma_skips_the_send(self):
+        broker = QueryBroker(
+            ServeConfig(n_shards=1, worker_mode="thread", batch_window=0.0),
+            SolverConfig(method="dense", n_samples=200),
+        )
+        try:
+            sigma = _spd(5, seed=41)
+            a, b = _boxes(5, 1)[0]
+            for seed in range(4):           # distinct seeds: no batch sharing
+                broker.submit(a, b, sigma, rng=seed).result(timeout=60)
+            stats = broker.stats()
+            assert stats.sigma_sends == 1
+            assert stats.sigma_skips >= 1
+            assert stats.sigma_bytes == sigma.nbytes
+            assert all(s.redundant_sigmas == 0 for s in stats.shards)
+        finally:
+            broker.close()
+
+    def test_eviction_forces_a_resend_but_never_a_redundant_one(self):
+        broker = QueryBroker(
+            ServeConfig(n_shards=1, worker_mode="thread", batch_window=0.0,
+                        cache_entries=1),
+            SolverConfig(method="dense", n_samples=200),
+        )
+        try:
+            first, second = _spd(5, seed=42), _spd(5, seed=43)
+            a, b = _boxes(5, 1)[0]
+            for sigma in (first, second, first, second):
+                broker.submit(a, b, sigma, rng=0).result(timeout=60)
+            stats = broker.stats()
+            # capacity-1 roster: every alternation evicts, so all four
+            # arrivals shipped — but none was redundant at the shard
+            assert stats.sigma_sends == 4
+            assert all(s.redundant_sigmas == 0 for s in stats.shards)
+        finally:
+            broker.close()
+
+    def test_stats_dict_roundtrip_preserves_max_batch(self, thread_broker):
+        sigma = _spd(4, seed=44)
+        a, b = _boxes(4, 1)[0]
+        thread_broker.submit(a, b, sigma, rng=0).result(timeout=60)
+        stats = thread_broker.stats()
+        assert stats.max_batch == 8
+        from repro.serve.stats import ServeStats
+
+        restored = ServeStats.from_dict(stats.as_dict())
+        assert restored.max_batch == 8
+        assert restored.sigma_sends == stats.sigma_sends
+        # legacy payloads without the field fall back to the keyword
+        legacy = {k: v for k, v in stats.as_dict().items() if k != "max_batch"}
+        assert ServeStats.from_dict(legacy, max_batch=5).max_batch == 5
