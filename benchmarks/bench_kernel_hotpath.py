@@ -15,14 +15,30 @@ always-on kernel/GEMM clock so shared BLAS time cannot mask the comparison.
 Emits ``BENCH_kernel_hotpath.json`` at the repository root (the start of the
 machine-readable perf trajectory; later PRs append comparable records) and a
 human-readable table under ``benchmarks/results/``.
+
+The record now also carries the **multi-core gate** of the parallel-kernel
+PR: ``numba-parallel`` must beat the fused single-thread numpy kernel by
+**>= 3x at 8 cores** while staying bit-identical to the serial ``numba``
+backend (thread count never changes the numbers).  On machines that cannot
+exercise the gate — numba missing, or fewer than 8 cores — the record says
+*why* it was skipped instead of faking a pass, and this test asserts the
+recorded reason is accurate for the running machine.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import os
+
 from benchmarks.conftest import save_table
-from repro.perf.hotpath import KERNEL_SPEEDUP_GATE, run_hotpath_benchmark
+from repro.core.kernel_backend import available_backends
+from repro.perf.hotpath import (
+    KERNEL_SPEEDUP_GATE,
+    MULTICORE_MIN_CORES,
+    MULTICORE_SPEEDUP_GATE,
+    run_hotpath_benchmark,
+)
 from repro.utils.reporting import Table
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel_hotpath.json"
@@ -69,4 +85,35 @@ def test_kernel_hotpath(benchmark):
     assert value >= KERNEL_SPEEDUP_GATE, (
         f"fused kernel speedup only {value:.2f}x (gate: {KERNEL_SPEEDUP_GATE}x)"
     )
+
+    # multi-core gate: numba-parallel >= 3x over single-thread numpy at
+    # >= 8 cores, bit-identical to serial numba.  Machines that cannot run
+    # it must record an accurate skip reason, never a fabricated verdict.
+    multicore = record["multicore"]
+    assert multicore["threshold"] == MULTICORE_SPEEDUP_GATE
+    assert multicore["min_cores"] == MULTICORE_MIN_CORES
+    cores = os.cpu_count() or 1
+    assert multicore["cores"] == cores
+    if "numba-parallel" not in available_backends():
+        assert multicore["applies"] is False
+        assert multicore["passed"] is None
+        assert "not available" in multicore["skipped_reason"]
+    elif cores < MULTICORE_MIN_CORES:
+        assert multicore["applies"] is False
+        assert multicore["passed"] is None
+        assert "core" in multicore["skipped_reason"]
+        # the measurement itself still ran — record the value for the trail
+        assert multicore["value"] > 0
+    else:
+        assert multicore["applies"] is True
+        assert multicore["bit_identical_to_numba"], (
+            "numba-parallel diverged from serial numba: thread count must "
+            "never change the numbers"
+        )
+        assert multicore["value"] >= MULTICORE_SPEEDUP_GATE, (
+            f"numba-parallel speedup only {multicore['value']:.2f}x "
+            f"(gate: {MULTICORE_SPEEDUP_GATE}x at {cores} cores)"
+        )
+        assert multicore["passed"] is True
+
     assert JSON_PATH.exists()

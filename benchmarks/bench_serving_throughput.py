@@ -18,6 +18,12 @@ Emits ``BENCH_serving_throughput.json`` at the repository root (the serving
 row of the machine-readable perf trajectory started by
 ``BENCH_kernel_hotpath.json``) and a human-readable table under
 ``benchmarks/results/``.
+
+Re-run for the fused-batch PR: the default workload (``n_samples=200``,
+micro-batches of up to 16) is lane-aligned, so every served micro-batch now
+runs as one fused (boxes x samples) sweep.  The gate additionally requires
+the fused results to be **bit-identical** to a replay with the interleaved
+schedule forced — fusion is a speed knob, never a numerics knob.
 """
 
 from __future__ import annotations
@@ -70,6 +76,12 @@ def test_serving_throughput(benchmark):
     assert record["parity"]["served_bit_identical"], (
         "served results diverged from direct Model.probability calls"
     )
+    assert record["parity"]["fused_vs_interleaved_bit_identical"], (
+        "fused batch schedule diverged from the interleaved schedule"
+    )
+    # the default workload is lane-aligned, so auto-fusion must have engaged
+    # (a straggler micro-batch of one box legitimately stays interleaved)
+    assert "fused" in record["fusion"]["served_modes"], record["fusion"]
     # every distinct Sigma must have been factorized exactly once, on the
     # shard the fingerprint routing assigned it to
     total_factorizations = sum(s["factorize_count"] for s in stats["shards"])

@@ -107,6 +107,8 @@ def mvn_probability_batch(
     chain_block: int | None = None,
     max_workspace_cols: int | None = None,
     backend: str | None = None,
+    kernel_threads: int | None = None,
+    fusion: str | None = None,
     timings: TimingRegistry | None = None,
     target_error: float | None = None,
     max_samples: int | None = None,
@@ -137,6 +139,11 @@ def mvn_probability_batch(
         Batched-sweep tuning; see :class:`repro.core.pmvn.PMVNOptions`.
     backend : str, optional
         QMC kernel backend (see :mod:`repro.core.kernel_backend`).
+    kernel_threads : int, optional
+        Thread count for chain-parallel backends (``numba-parallel``).
+    fusion : str, optional
+        Batched sweep schedule: ``"auto"`` (default) / ``"fused"`` /
+        ``"interleaved"`` — see :class:`repro.core.pmvn.PMVNOptions`.
     target_error, max_samples : optional
         Per-box adaptive accuracy targeting: boxes whose standard error
         misses ``target_error`` are re-swept at escalating sample counts
@@ -165,7 +172,7 @@ def mvn_probability_batch(
         method=method, n_samples=n_samples, tile_size=tile_size,
         accuracy=accuracy, max_rank=max_rank, qmc=qmc,
         chain_block=chain_block, max_workspace_cols=max_workspace_cols,
-        backend=backend,
+        backend=backend, kernel_threads=kernel_threads, batch_fusion=fusion,
     )
     check_factor_args(config.method, factor, cache)
     with MVNSolver(config, n_workers=n_workers, runtime=runtime, cache=cache) as solver:
@@ -205,7 +212,7 @@ def _baseline_loop(boxes, sigma, method, n_samples, means, qmc, rng) -> list[MVN
 def _batched_parallel(
     boxes, method, n_samples, means, accuracy, qmc, rng, runtime,
     factor, chain_block, max_workspace_cols, timings,
-    backend=None, workspace=None,
+    backend=None, workspace=None, kernel_threads=None, fusion=None,
 ) -> list[MVNResult]:
     """The batched sweep shared by ``"dense"`` and ``"tlr"``.
 
@@ -220,6 +227,7 @@ def _batched_parallel(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
         max_workspace_cols=max_workspace_cols, backend=backend,
         workspace=workspace, timings=timings,
+        kernel_threads=kernel_threads, fusion=fusion or "auto",
     )
     results = pmvn_integrate_batch(boxes, factor, options, runtime=runtime, means=means)
     for result in results:

@@ -76,8 +76,11 @@ def _add_mvn_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--accuracy", type=float, default=1e-3, help="TLR compression accuracy")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", default=None,
-                        choices=["numpy", "numba", "reference", "auto"],
+                        choices=["numpy", "numba", "numba-parallel", "cupy", "reference", "auto"],
                         help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    parser.add_argument("--kernel-threads", type=int, default=None,
+                        help="threads for chain-parallel kernel backends "
+                             "(default: $REPRO_KERNEL_THREADS or all cores)")
     parser.add_argument("--auto", action="store_true",
                         help="shorthand for --method auto: let the query planner "
                              "pick the estimator (see docs/query.md)")
@@ -133,8 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     crd.add_argument("--samples", type=int, default=2000)
     crd.add_argument("--seed", type=int, default=0)
     crd.add_argument("--backend", default=None,
-                     choices=["numpy", "numba", "reference", "auto"],
+                     choices=["numpy", "numba", "numba-parallel", "cupy", "reference", "auto"],
                      help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    crd.add_argument("--kernel-threads", type=int, default=None,
+                     help="threads for chain-parallel kernel backends "
+                          "(default: $REPRO_KERNEL_THREADS or all cores)")
     crd.add_argument("--verbose", action="store_true",
                      help="print the per-phase timing breakdown of the detection")
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
@@ -153,8 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--samples", type=int, default=2000,
                          help="default QMC sample size for queries that omit it")
     gateway.add_argument("--backend", default=None,
-                         choices=["numpy", "numba", "reference", "auto"],
+                         choices=["numpy", "numba", "numba-parallel", "cupy", "reference", "auto"],
                          help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    gateway.add_argument("--kernel-threads", type=int, default=None,
+                         help="threads for chain-parallel kernel backends "
+                              "(default: $REPRO_KERNEL_THREADS or all cores)")
     gateway.add_argument("--shards", type=int, default=2, help="initial warm solver shards")
     gateway.add_argument("--mode", default="auto", choices=list(WORKER_MODES),
                          help="shard worker mode")
@@ -214,6 +223,7 @@ def _config_from_args(args, tile_size=None):
         tile_size=tile_size if tile_size is not None else getattr(args, "tile_size", None),
         accuracy=args.accuracy,
         backend=getattr(args, "backend", None),
+        kernel_threads=getattr(args, "kernel_threads", None),
     )
 
 
@@ -408,7 +418,8 @@ def _cmd_serve(args) -> int:
     from repro.serve.net import Autoscaler, ServeGateway
 
     solver_config = SolverConfig(method=args.method, n_samples=args.samples,
-                                 backend=args.backend)
+                                 backend=args.backend,
+                                 kernel_threads=args.kernel_threads)
     serve_config = ServeConfig(
         n_shards=args.shards, worker_mode=args.mode, max_batch=args.max_batch,
         batch_window=args.batch_window, max_pending=args.max_pending,

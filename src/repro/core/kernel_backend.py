@@ -24,17 +24,42 @@ makes that inner loop allocation-free and swappable:
   registered only when :mod:`numba` imports; requesting it without numba
   installed falls back to ``"numpy"`` with a warning.  Accurate to ~1e-12
   but *not* bit-identical to the numpy path.
-* ``"auto"`` resolves to ``"numba"`` when available, else ``"numpy"``.
+* ``"numba-parallel"`` compiles the same scalar recursion with
+  ``parallel=True`` and a ``prange`` over the *chains* of a tile: every MC
+  chain's row recursion is independent, so threads split the chain dimension
+  with no synchronization inside the tile, and per-chain results are
+  **bit-identical to the serial "numba" backend for any thread count**.
+  The thread count comes from :func:`resolve_kernel_threads` (explicit
+  setting > ``$REPRO_KERNEL_THREADS`` > numba's default, i.e. all cores).
+  Requesting it without numba falls back ``numba-parallel`` → ``numba`` →
+  ``numpy`` with a one-time warning.
+* ``"cupy"`` is an optional GPU backend registered only when :mod:`cupy`
+  imports *and* a CUDA device is present.  It mirrors the numpy recursion on
+  the device (``cupyx`` ``ndtr``/``ndtri``), reuses CuPy's pooled device
+  allocator for workspace, and meters every host<->device copy into module
+  counters that the sweep surfaces as ``details["h2d_seconds"]`` /
+  ``details["d2h_seconds"]`` / ``details["transfer_bytes"]`` (the phase clock
+  still books the whole tile into ``details["kernel_seconds"]``, so the
+  transfer split shows how much of "kernel" time was PCIe).  Unlike the
+  numba chain, explicitly requesting ``"cupy"`` on a machine without it
+  raises ``ValueError`` — silently swapping a GPU for one CPU core would be
+  a large silent perf regression, not a graceful fallback.
+* ``"auto"`` resolves to the fastest available CPU backend:
+  ``numba-parallel`` > ``numba`` > ``numpy``.  It never picks ``cupy``
+  implicitly; the GPU is opt-in.
 
 Selection precedence: explicit ``backend=`` argument (or
 ``SolverConfig.backend`` / the CLI ``--backend`` flag) > the
-``REPRO_KERNEL_BACKEND`` environment variable > ``"numpy"``.
+``REPRO_KERNEL_BACKEND`` environment variable > ``"numpy"``.  Unknown names
+— from either source — raise ``ValueError`` listing
+:func:`available_backends` instead of failing mid-sweep.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable
@@ -50,8 +75,11 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_backend_name",
+    "resolve_kernel_threads",
+    "set_kernel_threads",
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "KERNEL_THREADS_ENV_VAR",
 ]
 
 #: environment variable consulted when no explicit backend is requested
@@ -59,6 +87,62 @@ BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 #: the backend used when neither an argument nor the env var selects one
 DEFAULT_BACKEND = "numpy"
+
+#: environment variable consulted when no explicit thread count is set
+KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
+#: names that are always recognized even when their import is absent —
+#: resolution errors distinguish "unknown name" from "known but unavailable"
+_OPTIONAL_BACKENDS = ("numba", "numba-parallel", "cupy")
+
+
+# ---------------------------------------------------------------------------
+# kernel thread-count control (used by the numba-parallel backend)
+# ---------------------------------------------------------------------------
+
+_KERNEL_THREADS: int | None = None
+
+
+def _check_threads(value, source: str = "kernel_threads") -> int:
+    try:
+        n = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if n < 1:
+        raise ValueError(f"{source} must be >= 1, got {n}")
+    return n
+
+
+def set_kernel_threads(n: int | None) -> int | None:
+    """Set the process-wide kernel thread count; returns the previous setting.
+
+    ``None`` clears the setting (back to ``$REPRO_KERNEL_THREADS`` or the
+    numba default).  The setting is read at *kernel run* time, so it applies
+    to sweeps already in flight on their next tile — like numba's own
+    ``set_num_threads`` this is deliberately a process-wide knob.
+    """
+    global _KERNEL_THREADS
+    prev = _KERNEL_THREADS
+    _KERNEL_THREADS = None if n is None else _check_threads(n)
+    return prev
+
+
+def resolve_kernel_threads(explicit: int | None = None) -> int | None:
+    """Resolve the kernel thread count (explicit > setting > env > None).
+
+    ``None`` means "let the backend decide" (numba uses all cores).  The
+    single-threaded backends ignore the value entirely.
+    """
+    if explicit is not None:
+        return _check_threads(explicit)
+    if _KERNEL_THREADS is not None:
+        return _KERNEL_THREADS
+    env = os.environ.get(KERNEL_THREADS_ENV_VAR)
+    if env:
+        return _check_threads(env, source=f"${KERNEL_THREADS_ENV_VAR}")
+    return None
 
 
 class KernelWorkspace:
@@ -126,12 +210,16 @@ class KernelBackend:
     (:func:`repro.core.qmc_kernel.qmc_kernel_tile`), so backends read
     ``workspace.diag`` / ``workspace.inv_diag`` without re-validating.
     ``bit_identical`` records whether the backend reproduces the reference
-    recursion bit for bit.
+    recursion bit for bit.  ``aux``, when set, is a zero-argument callable
+    returning monotonically increasing float counters (e.g. transfer
+    seconds); the sweep snapshots it before/after and reports the per-sweep
+    delta in the result details.
     """
 
     name: str
     run: Callable = field(repr=False)
     bit_identical: bool = True
+    aux: Callable | None = field(default=None, repr=False)
 
 
 # ---------------------------------------------------------------------------
@@ -257,7 +345,7 @@ def _numpy_kernel(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
 
 
 # ---------------------------------------------------------------------------
-# numba backend: scalar recursion, self-contained special functions so the
+# numba backends: scalar recursion, self-contained special functions so the
 # whole body compiles under @njit (and stays testable as plain Python)
 # ---------------------------------------------------------------------------
 
@@ -267,6 +355,13 @@ _INV_SQRT_2PI = 0.3989422804014327  # 1/sqrt(2*pi)
 # reference backends take from repro.stats.normal
 _PPF_LO = PPF_EPS
 _PPF_HI = 1.0 - PPF_EPS
+
+try:  # pragma: no cover - exercised only with numba installed
+    from numba import prange
+except ImportError:
+    # plain-Python alias so _numba_parallel_kernel_py stays importable and
+    # testable without numba (prange degrades to a sequential range)
+    prange = range
 
 
 def _numba_kernel_py(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
@@ -330,11 +425,105 @@ def _numba_kernel_py(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
     return None
 
 
+def _numba_parallel_kernel_py(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
+                              inv_diag, prefix_sum, prefix_sumsq,
+                              do_prefix) -> None:
+    """Chain-parallel SOV recursion: ``prange`` over the chain dimension.
+
+    Every MC chain ``k`` is an independent row recursion (the shift for row
+    ``i`` reads only ``y_tile[:i, k]`` of the *same* chain), so the outer
+    ``prange`` splits the chains across threads with no synchronization
+    inside the tile — and no floating-point reassociation, so per-chain
+    results are bit-identical to the serial :func:`_numba_kernel_py` at any
+    thread count.  The prefix accumulators are the only cross-chain state;
+    they are staged into a per-(row, chain) scratch inside the parallel
+    region and reduced afterwards in ascending chain order, matching the
+    serial backend's summation order exactly.
+    """
+    m, c = r_tile.shape
+    if do_prefix:
+        pp = np.empty((m, c))
+    else:
+        pp = np.empty((0, 0))
+    for k in prange(c):
+        for i in range(m):
+            shift = 0.0
+            for j in range(i):
+                shift += l_tile[i, j] * y_tile[j, k]
+            inv_d = inv_diag[i]
+            ai = (a_tile[i, k] - shift) * inv_d
+            bi = (b_tile[i, k] - shift) * inv_d
+            phi_a = 0.5 * math.erfc(-ai * _SQRT1_2)
+            phi_b = 0.5 * math.erfc(-bi * _SQRT1_2)
+            width = phi_b - phi_a
+            if width < 0.0:
+                width = 0.0
+            p = p_seg[k] * width
+            p_seg[k] = p
+            if do_prefix:
+                pp[i, k] = p
+            u = phi_a + r_tile[i, k] * width
+            if u < _PPF_LO:
+                u = _PPF_LO
+            elif u > _PPF_HI:
+                u = _PPF_HI
+            q = u - 0.5
+            if q < -0.425 or q > 0.425:
+                r = u if q < 0.0 else 1.0 - u
+                t = math.sqrt(-2.0 * math.log(r))
+                x = t - (2.515517 + t * (0.802853 + t * 0.010328)) / (
+                    1.0 + t * (1.432788 + t * (0.189269 + t * 0.001308))
+                )
+                if q < 0.0:
+                    x = -x
+            else:
+                x = q * 2.5066282746310002
+            for _ in range(4):
+                err = 0.5 * math.erfc(-x * _SQRT1_2) - u
+                pdf = math.exp(-0.5 * x * x) * _INV_SQRT_2PI
+                if pdf <= 0.0:
+                    break
+                step = err / pdf
+                x = x - step / (1.0 + 0.5 * x * step)
+            y_tile[i, k] = x
+    if do_prefix:
+        for i in range(m):
+            row_sum = 0.0
+            row_sumsq = 0.0
+            for k in range(c):
+                p = pp[i, k]
+                row_sum += p
+                row_sumsq += p * p
+            prefix_sum[i] += row_sum
+            prefix_sumsq[i] += row_sumsq
+    return None
+
+
 def _make_numba_run(compiled) -> Callable:
     def run(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
             prefix_sum, prefix_sumsq, workspace) -> None:
         m = l_tile.shape[0]
         # the dispatcher has already bound the workspace (inv_diag is valid)
+        do_prefix = prefix_sum is not None or prefix_sumsq is not None
+        compiled(
+            np.ascontiguousarray(l_tile), r_tile, a_tile, b_tile, p_seg, y_tile,
+            workspace.inv_diag[:m],
+            prefix_sum if prefix_sum is not None else np.zeros(m),
+            prefix_sumsq if prefix_sumsq is not None else np.zeros(m),
+            do_prefix,
+        )
+    return run
+
+
+def _make_numba_parallel_run(compiled, numba_mod) -> Callable:
+    def run(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
+            prefix_sum, prefix_sumsq, workspace) -> None:
+        m = l_tile.shape[0]
+        threads = resolve_kernel_threads()
+        if threads is not None:
+            numba_mod.set_num_threads(
+                max(1, min(threads, numba_mod.config.NUMBA_NUM_THREADS))
+            )
         do_prefix = prefix_sum is not None or prefix_sumsq is not None
         compiled(
             np.ascontiguousarray(l_tile), r_tile, a_tile, b_tile, p_seg, y_tile,
@@ -355,6 +544,110 @@ def _build_numba_backend() -> KernelBackend | None:
     return KernelBackend(name="numba", run=_make_numba_run(compiled), bit_identical=False)
 
 
+def _build_numba_parallel_backend() -> KernelBackend | None:
+    try:
+        import numba
+    except ImportError:
+        return None
+    try:
+        compiled = numba.njit(nogil=True, cache=False, parallel=True)(
+            _numba_parallel_kernel_py
+        )
+    except Exception:  # pragma: no cover - e.g. no threading layer available
+        return None
+    return KernelBackend(
+        name="numba-parallel",
+        run=_make_numba_parallel_run(compiled, numba),
+        bit_identical=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cupy backend: optional GPU path, registered only when a device is usable
+# ---------------------------------------------------------------------------
+
+_CUPY_TRANSFERS = {"h2d_seconds": 0.0, "d2h_seconds": 0.0, "transfer_bytes": 0.0}
+_CUPY_TRANSFER_LOCK = threading.Lock()
+
+
+def _cupy_transfer_counters() -> dict[str, float]:
+    """Cumulative host<->device transfer counters of the cupy backend."""
+    with _CUPY_TRANSFER_LOCK:
+        return dict(_CUPY_TRANSFERS)
+
+
+def _build_cupy_backend() -> KernelBackend | None:  # pragma: no cover - GPU only
+    try:
+        import cupy as cp
+        from cupyx.scipy.special import ndtr as cp_ndtr, ndtri as cp_ndtri
+
+        if cp.cuda.runtime.getDeviceCount() < 1:
+            return None
+    except Exception:
+        return None
+
+    import time as _time
+
+    def _account(h2d: float, d2h: float, nbytes: int) -> None:
+        with _CUPY_TRANSFER_LOCK:
+            _CUPY_TRANSFERS["h2d_seconds"] += h2d
+            _CUPY_TRANSFERS["d2h_seconds"] += d2h
+            _CUPY_TRANSFERS["transfer_bytes"] += float(nbytes)
+
+    def run(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile,
+            prefix_sum, prefix_sumsq, workspace) -> None:
+        m = l_tile.shape[0]
+        do_prefix = prefix_sum is not None or prefix_sumsq is not None
+        up_bytes = sum(arr.nbytes for arr in (l_tile, r_tile, a_tile, b_tile, p_seg, y_tile))
+        t0 = _time.perf_counter()
+        # cp.asarray draws from CuPy's pooled allocator, so repeated tiles of
+        # one sweep recycle device blocks instead of hitting cudaMalloc
+        d_l = cp.asarray(l_tile)
+        d_r = cp.asarray(r_tile)
+        d_a = cp.asarray(a_tile)
+        d_b = cp.asarray(b_tile)
+        d_p = cp.asarray(p_seg)
+        d_y = cp.asarray(y_tile)
+        d_inv = cp.asarray(workspace.inv_diag[:m])
+        cp.cuda.runtime.deviceSynchronize()
+        h2d = _time.perf_counter() - t0
+        if do_prefix:
+            d_psum = cp.zeros(m)
+            d_psumsq = cp.zeros(m)
+        for i in range(m):
+            if i:
+                shift = d_l[i, :i] @ d_y[:i]
+            else:
+                shift = cp.zeros(d_r.shape[1])
+            inv_d = d_inv[i]
+            phi_a = cp_ndtr((d_a[i] - shift) * inv_d)
+            phi_b = cp_ndtr((d_b[i] - shift) * inv_d)
+            width = cp.maximum(phi_b - phi_a, 0.0)
+            d_p *= width
+            u = cp.clip(phi_a + d_r[i] * width, _PPF_LO, _PPF_HI)
+            d_y[i] = cp_ndtri(u)
+            if do_prefix:
+                d_psum[i] += d_p.sum()
+                d_psumsq[i] += cp.dot(d_p, d_p)
+        cp.cuda.runtime.deviceSynchronize()
+        t1 = _time.perf_counter()
+        cp.asnumpy(d_p, out=p_seg)
+        cp.asnumpy(d_y, out=y_tile)
+        down_bytes = p_seg.nbytes + y_tile.nbytes
+        if do_prefix:
+            if prefix_sum is not None:
+                prefix_sum += cp.asnumpy(d_psum)
+            if prefix_sumsq is not None:
+                prefix_sumsq += cp.asnumpy(d_psumsq)
+            down_bytes += 2 * m * 8
+        d2h = _time.perf_counter() - t1
+        _account(h2d, d2h, up_bytes + down_bytes)
+
+    return KernelBackend(
+        name="cupy", run=run, bit_identical=False, aux=_cupy_transfer_counters
+    )
+
+
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
@@ -365,6 +658,7 @@ _REGISTRY: dict[str, KernelBackend] = {
 }
 
 _NUMBA_PROBED = False
+_CUPY_PROBED = False
 _FALLBACK_WARNED = False
 
 
@@ -380,53 +674,103 @@ def _probe_numba() -> None:
     if _NUMBA_PROBED:
         return
     _NUMBA_PROBED = True
-    built = _build_numba_backend()
-    if built is not None:
+    for build in (_build_numba_backend, _build_numba_parallel_backend):
+        built = build()
+        if built is not None:
+            _REGISTRY[built.name] = built
+
+
+def _probe_cupy() -> None:
+    global _CUPY_PROBED
+    if _CUPY_PROBED:
+        return
+    _CUPY_PROBED = True
+    built = _build_cupy_backend()
+    if built is not None:  # pragma: no cover - GPU only
         _REGISTRY[built.name] = built
 
 
 def available_backends() -> list[str]:
     """Names of the backends usable in this environment (sorted)."""
     _probe_numba()
+    _probe_cupy()
     return sorted(_REGISTRY)
 
 
-def resolve_backend_name(name: str | None) -> str:
-    """Canonicalize a requested backend name without requiring availability.
+def resolve_backend_name(name: str | None, *, require_available: bool = False) -> str:
+    """Canonicalize a requested backend name and reject unknown ones early.
 
     ``None`` falls back to ``$REPRO_KERNEL_BACKEND`` and then to
     ``"numpy"``; ``"auto"`` is kept symbolic (resolved by
-    :func:`get_backend`).  Unknown names raise ``ValueError``.
+    :func:`get_backend`).  A name that is neither registered nor a known
+    optional backend raises ``ValueError`` listing
+    :func:`available_backends` — whether it came from an argument,
+    ``SolverConfig``, or the environment variable — so typos surface at
+    configuration time instead of deep inside a sweep.  ``"cupy"`` without a
+    usable CuPy additionally raises (a GPU request must never silently run
+    on one CPU core); the numba names instead keep their graceful fallback
+    unless ``require_available`` is set.
     """
+    from_env = False
     if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+        env = os.environ.get(BACKEND_ENV_VAR)
+        from_env = bool(env)
+        name = env or DEFAULT_BACKEND
     name = str(name).lower()
-    if name != "auto" and name not in ("numba", *_REGISTRY):
-        known = ", ".join(sorted({"auto", "numba", *_REGISTRY}))
-        raise ValueError(f"unknown kernel backend {name!r}; choose one of: {known}")
+    if name != "auto" and name not in (*_OPTIONAL_BACKENDS, *_REGISTRY):
+        known = ", ".join(sorted({"auto", *_OPTIONAL_BACKENDS, *_REGISTRY}))
+        source = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
+        raise ValueError(
+            f"unknown kernel backend {name!r}{source}; known names: {known}; "
+            f"available on this install: {', '.join(available_backends())}"
+        )
+    if name == "cupy" or (require_available and name in _OPTIONAL_BACKENDS):
+        if name not in available_backends():
+            source = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
+            raise ValueError(
+                f"kernel backend {name!r}{source} is not available on this "
+                f"install; available: {', '.join(available_backends())}"
+            )
     return name
 
 
 def get_backend(name: str | None = None) -> KernelBackend:
     """Resolve a backend name (see module docstring for precedence rules).
 
-    ``"auto"`` prefers numba when importable; asking for ``"numba"`` when it
-    is not falls back to the numpy backend with a one-time warning instead of
-    failing — kernels must keep working on minimal installs.
+    ``"auto"`` prefers the fastest available CPU backend
+    (``numba-parallel`` > ``numba`` > ``numpy``); asking for a numba backend
+    when numba is missing falls back down the same chain with a one-time
+    warning instead of failing — kernels must keep working on minimal
+    installs.  Asking for ``"cupy"`` when it is unavailable raises (see
+    :func:`resolve_backend_name`).
     """
     global _FALLBACK_WARNED
     name = resolve_backend_name(name)
-    if name in ("auto", "numba"):
+    if name in ("auto", "numba", "numba-parallel"):
         _probe_numba()
-        if "numba" in _REGISTRY:
-            return _REGISTRY["numba"]
-        if name == "numba" and not _FALLBACK_WARNED:
+        if name == "auto":
+            for candidate in ("numba-parallel", "numba"):
+                if candidate in _REGISTRY:
+                    return _REGISTRY[candidate]
+            return _REGISTRY["numpy"]
+        if name in _REGISTRY:
+            return _REGISTRY[name]
+        # fallback chain: numba-parallel -> numba -> numpy (whatever exists)
+        fallback = _REGISTRY.get("numba", _REGISTRY["numpy"])
+        if not _FALLBACK_WARNED:
             _FALLBACK_WARNED = True
             warnings.warn(
-                "kernel backend 'numba' requested but numba is not installed; "
-                "falling back to the 'numpy' backend",
+                f"kernel backend {name!r} requested but numba is not installed; "
+                f"falling back to the {fallback.name!r} backend",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        return _REGISTRY["numpy"]
+        return fallback
+    if name == "cupy":
+        _probe_cupy()
+        if name not in _REGISTRY:
+            raise ValueError(
+                f"kernel backend 'cupy' is not available on this install; "
+                f"available: {', '.join(available_backends())}"
+            )
     return _REGISTRY[name]

@@ -26,6 +26,26 @@ Because each MC chain is independent, the per-chain probabilities are the
 same values a loop of single-box sweeps would produce — batching changes the
 schedule, not the estimator.  :func:`pmvn_integrate` is the single-box
 special case.
+
+Fused batch sweeps
+------------------
+The interleaved schedule still pays the per-tile Python and BLAS-dispatch
+overhead once per (box, chunk) pair, which dominates when a serving
+micro-batch holds many boxes with modest ``n_samples``.  The *fused* path
+instead concatenates the wave's boxes along the chain dimension into one
+virtual ``n x (boxes * n_samples)`` sweep and re-blocks it into cache-sized
+tiles that may span box boundaries — legal because the QMC kernel is exact
+for heterogeneous per-column limits (each chain only ever reads its own
+column).  Per-box estimates are gathered back by slicing each box's columns
+out of the fused probability segments in sample order, so the chain values —
+and hence the estimates — are the *same numbers* the interleaved schedule
+produces.  Bitwise equality additionally requires that every BLAS call see
+each column at the same SIMD-lane alignment in both schedules; fusion
+therefore keeps all tile widths and box offsets multiples of
+:data:`_COLUMN_LANE`, and the ``"auto"`` mode only fuses workloads where
+that alignment holds (``n_samples`` and the chain block both divisible by
+the lane).  ``PMVNOptions.fusion`` selects ``"auto"`` (default), ``"fused"``
+(force), or ``"interleaved"`` (the PR-6 schedule).
 """
 
 from __future__ import annotations
@@ -37,7 +57,12 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.factor import CholeskyFactor, factorize
-from repro.core.kernel_backend import KernelBackend, KernelWorkspace, get_backend
+from repro.core.kernel_backend import (
+    KernelBackend,
+    KernelWorkspace,
+    get_backend,
+    set_kernel_threads,
+)
 from repro.core.qmc_kernel import qmc_kernel_tile
 from repro.mvn.result import MVNResult
 from repro.runtime import AccessMode, DataHandle, Runtime
@@ -63,6 +88,16 @@ BATCH_CHAIN_BLOCK = 512
 #: the batched sweep.  The four ``n x cols`` work matrices plus the variates
 #: cost ``~40 * n * cols`` bytes.
 BATCH_WORKSPACE_COLS = 4_000_000
+
+#: recognized values of ``PMVNOptions.fusion`` / ``SolverConfig.batch_fusion``
+BATCH_FUSION_MODES = ("auto", "fused", "interleaved")
+
+#: SIMD column-lane width the fused schedule aligns to.  BLAS kernels process
+#: matrix columns in fixed-width lane groups with a different microkernel for
+#: the tail; keeping every fused tile width and box offset a multiple of this
+#: lane makes each column land in the same lane group as in the interleaved
+#: schedule, so per-column GEMM/GEMV results are bitwise unchanged.
+_COLUMN_LANE = 8
 
 
 @dataclass
@@ -97,6 +132,18 @@ class PMVNOptions:
     workspace : SweepWorkspace, optional
         Pooled work buffers reused across calls (a :class:`repro.solver.Model`
         holds one per session); a fresh pool is created when omitted.
+    fusion : str
+        Batched sweep schedule: ``"auto"`` (default) fuses the wave's boxes
+        into cache-sized (boxes x samples) tiles whenever the column
+        alignment keeps results bitwise identical to the interleaved
+        schedule; ``"fused"`` forces fusion; ``"interleaved"`` forces the
+        per-box chunk schedule.  See the module docs.
+    kernel_threads : int, optional
+        Thread count for chain-parallel kernel backends (``numba-parallel``);
+        applied for the duration of the sweep via
+        :func:`repro.core.kernel_backend.set_kernel_threads`.  ``None``
+        defers to ``$REPRO_KERNEL_THREADS`` and then the backend default
+        (all cores).  Single-threaded backends ignore it.
     """
 
     n_samples: int = 10_000
@@ -108,6 +155,8 @@ class PMVNOptions:
     backend: str | None = None
     workspace: "SweepWorkspace | None" = field(default=None, repr=False)
     timings: TimingRegistry | None = field(default=None, repr=False)
+    fusion: str = "auto"
+    kernel_threads: int | None = None
 
 
 def _gemm_limits_update(
@@ -270,6 +319,8 @@ def pmvn_integrate_batch(
     max_cols = options.max_workspace_cols or max(n_samples, BATCH_WORKSPACE_COLS // max(n, 1))
     boxes_per_wave = min(boxes_per_wave, max(1, int(max_cols) // n_samples), n_boxes)
 
+    fused = _resolve_fusion(options, n_boxes, n_samples, chain_block)
+
     pooled = options.workspace
     if pooled is not None and pooled.checkout_wave_buffers():
         workspace, claimed = pooled, True
@@ -280,23 +331,68 @@ def pmvn_integrate_batch(
     backend = get_backend(options.backend)
     clock = _PhaseClock()
     results: list[MVNResult | None] = [None] * n_boxes
+    aux_before = backend.aux() if backend.aux is not None else None
+    threads_set = options.kernel_threads is not None
+    prev_threads = set_kernel_threads(options.kernel_threads) if threads_set else None
     try:
+        sweep = _sweep_wave_fused if fused else _sweep_wave
         for wave_start in range(0, n_boxes, boxes_per_wave):
             wave = list(range(wave_start, min(wave_start + boxes_per_wave, n_boxes)))
-            _sweep_wave(wave, limits, factor, options, rt, n_samples, chain_block, timings, results, workspace, backend, clock)
+            sweep(wave, limits, factor, options, rt, n_samples, chain_block, timings, results, workspace, backend, clock)
     finally:
+        if threads_set:
+            set_kernel_threads(prev_threads)
         if claimed:
             workspace.release_wave_buffers()
     if timings is not None:
         timings.add("kernel_sweep", clock.kernel)
         timings.add("gemm_propagation", clock.gemm)
+    aux_delta: dict[str, float] | None = None
+    if aux_before is not None:
+        # per-sweep delta of the backend's cumulative counters (e.g. the cupy
+        # backend's host<->device transfer seconds/bytes)
+        aux_after = backend.aux()
+        aux_delta = {key: aux_after[key] - aux_before.get(key, 0.0) for key in aux_after}
     for result in results:
         # phase seconds are whole-batch aggregates: chain blocks of different
         # boxes interleave on the workers, so per-box attribution is undefined
         result.details["backend"] = backend.name
         result.details["kernel_seconds"] = clock.kernel
         result.details["gemm_seconds"] = clock.gemm
+        result.details["fusion"] = "fused" if fused else "interleaved"
+        if aux_delta:
+            result.details.update(aux_delta)
     return results  # type: ignore[return-value]
+
+
+def _resolve_fusion(
+    options: PMVNOptions, n_boxes: int, n_samples: int, chain_block: int
+) -> bool:
+    """Decide whether this batch runs the fused (boxes x samples) schedule."""
+    mode = options.fusion
+    if mode not in BATCH_FUSION_MODES:
+        raise ValueError(
+            f"fusion must be one of {BATCH_FUSION_MODES}, got {mode!r}"
+        )
+    if mode == "interleaved":
+        return False
+    if options.return_prefix:
+        if mode == "fused":
+            raise ValueError(
+                "return_prefix requires the interleaved batch schedule: prefix "
+                "sums cannot be attributed per box across fused tiles"
+            )
+        return False
+    if mode == "fused":
+        return True
+    # auto: fuse only when there is something to fuse and the column-lane
+    # alignment (see _COLUMN_LANE) keeps results bitwise identical to the
+    # interleaved schedule
+    if n_boxes < 2:
+        return False
+    if n_samples % _COLUMN_LANE or chain_block % _COLUMN_LANE:
+        return False
+    return True
 
 
 class SweepWorkspace:
@@ -500,10 +596,67 @@ def _sweep_wave(
             p_segments.append(p_seg)
     del r_matrices
 
+    labels = [f"{box}.{chunk}" for (box, chunk, _c0, _c1) in blocks]
+    skip_a = [
+        [neginf_blocks[box][j] for j in range(n_row_blocks)]
+        for (box, _chunk, _c0, _c1) in blocks
+    ]
+    _submit_sweep(
+        rt, factor, labels, a_blocks, b_blocks, y_blocks, r_blocks,
+        p_segments, prefix_sums, prefix_sumsqs, skip_a,
+        workspace, backend, clock, timings,
+    )
+
+    for box in wave:
+        own = [k for k, blk in enumerate(blocks) if blk[0] == box]
+        chain_values = np.concatenate([p_segments[k] for k in own])
+        estimate = float(chain_values.mean())
+        std_err = float(chain_values.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0
+        details: dict = {"chain_block": chain_block, "n_row_blocks": n_row_blocks}
+        if options.return_prefix:
+            total_sum = np.sum([prefix_sums[k] for k in own], axis=0)
+            total_sumsq = np.sum([prefix_sumsqs[k] for k in own], axis=0)
+            prefix_mean = total_sum / n_samples
+            prefix_var = np.maximum(total_sumsq / n_samples - prefix_mean**2, 0.0)
+            details["prefix_probabilities"] = prefix_mean
+            details["prefix_errors"] = np.sqrt(prefix_var / n_samples)
+        results[box] = MVNResult(estimate, std_err, n_samples, n, method="pmvn", details=details)
+
+
+def _submit_sweep(
+    rt: Runtime,
+    factor: CholeskyFactor,
+    labels: list[str],
+    a_blocks: list[list[np.ndarray]],
+    b_blocks: list[list[np.ndarray]],
+    y_blocks: list[list[np.ndarray]],
+    r_blocks: list[list[np.ndarray]],
+    p_segments: list[np.ndarray],
+    prefix_sums: list[np.ndarray] | None,
+    prefix_sumsqs: list[np.ndarray] | None,
+    skip_a: list[list[bool]],
+    workspace: SweepWorkspace,
+    backend: KernelBackend,
+    clock: _PhaseClock,
+    timings: TimingRegistry | None,
+) -> None:
+    """Submit one wave's task graph (steps (b)-(d)) and wait for it.
+
+    Schedule-agnostic: the caller decides how the wave's chains are cut into
+    column blocks (one per ``labels`` entry — interleaved per-box chunks or
+    fused cross-box tiles) and hands over the filled tiles; this helper only
+    wires the dependency graph.  ``skip_a[k][j]`` marks column blocks whose
+    row block ``j`` has all-``-inf`` lower limits (the A-side axpy of the
+    GEMM propagation is an exact no-op there and is skipped).
+    """
+    row_ranges = factor.row_ranges
+    n_row_blocks = len(row_ranges)
+    n_blocks = len(labels)
+
     # data handles for dependency inference
     def _handles(payloads, tag):
         return [
-            [DataHandle(payloads[k][r], name=f"{tag}[{r},{blocks[k][0]}.{blocks[k][1]}]") for r in range(n_row_blocks)]
+            [DataHandle(payloads[k][r], name=f"{tag}[{r},{labels[k]}]") for r in range(n_row_blocks)]
             for k in range(n_blocks)
         ]
 
@@ -511,7 +664,7 @@ def _sweep_wave(
     b_handles = _handles(b_blocks, "B")
     y_handles = _handles(y_blocks, "Y")
     r_handles = _handles(r_blocks, "R")
-    p_handles = [DataHandle(p_segments[k], name=f"p[{blocks[k][0]}.{blocks[k][1]}]") for k in range(n_blocks)]
+    p_handles = [DataHandle(p_segments[k], name=f"p[{labels[k]}]") for k in range(n_blocks)]
     diag_handles = [DataHandle(factor.diag_tile(r), name=f"L[{r},{r}]") for r in range(n_row_blocks)]
 
     def qmc_task(l_tile, r_tile, a_tile, b_tile, p_seg, y_tile, row_block: int, block_idx: int) -> None:
@@ -532,7 +685,7 @@ def _sweep_wave(
 
     with timed(timings, "integration"):
         # step (b): first row block
-        for k, (box, chunk, _c0, _c1) in enumerate(blocks):
+        for k in range(n_blocks):
             rt.insert_task(
                 qmc_task,
                 (diag_handles[0], AccessMode.READ),
@@ -542,14 +695,14 @@ def _sweep_wave(
                 (p_handles[k], AccessMode.READWRITE),
                 (y_handles[k][0], AccessMode.READWRITE),
                 kwargs={"row_block": 0, "block_idx": k},
-                name=f"qmc(0,{box}.{chunk})",
+                name=f"qmc(0,{labels[k]})",
                 priority=2 * n_row_blocks,
                 tag="qmc",
             )
         # steps (c)/(d): propagate and advance the remaining row blocks
         for r in range(1, n_row_blocks):
             for j in range(r, n_row_blocks):
-                for k, (box, chunk, _c0, _c1) in enumerate(blocks):
+                for k in range(n_blocks):
                     rt.insert_task(
                         _gemm_limits_update,
                         (a_handles[k][j], AccessMode.READWRITE),
@@ -558,14 +711,14 @@ def _sweep_wave(
                         kwargs={
                             "factor": factor, "j": j, "r": r - 1,
                             "workspace": workspace,
-                            "skip_a": neginf_blocks[box][j],
+                            "skip_a": skip_a[k][j],
                             "clock": clock,
                         },
-                        name=f"gemm({j},{box}.{chunk},{r - 1})",
+                        name=f"gemm({j},{labels[k]},{r - 1})",
                         priority=2 * (n_row_blocks - r) + 1,
                         tag="gemm",
                     )
-            for k, (box, chunk, _c0, _c1) in enumerate(blocks):
+            for k in range(n_blocks):
                 rt.insert_task(
                     qmc_task,
                     (diag_handles[r], AccessMode.READ),
@@ -575,25 +728,144 @@ def _sweep_wave(
                     (p_handles[k], AccessMode.READWRITE),
                     (y_handles[k][r], AccessMode.READWRITE),
                     kwargs={"row_block": r, "block_idx": k},
-                    name=f"qmc({r},{box}.{chunk})",
+                    name=f"qmc({r},{labels[k]})",
                     priority=2 * (n_row_blocks - r),
                     tag="qmc",
                 )
         rt.wait_all()
 
-    for box in wave:
-        own = [k for k, blk in enumerate(blocks) if blk[0] == box]
-        chain_values = np.concatenate([p_segments[k] for k in own])
+
+def _sweep_wave_fused(
+    wave: list[int],
+    limits: list[tuple[np.ndarray, np.ndarray]],
+    factor: CholeskyFactor,
+    options: PMVNOptions,
+    rt: Runtime,
+    n_samples: int,
+    chain_block: int,
+    timings: TimingRegistry | None,
+    results: list,
+    workspace: SweepWorkspace,
+    backend: KernelBackend,
+    clock: _PhaseClock,
+) -> None:
+    """Run one wave as a single fused (boxes x samples) sweep.
+
+    The wave's boxes are laid side by side along the chain dimension — box
+    ``w`` owns virtual columns ``[w * n_samples, (w+1) * n_samples)`` — and
+    the combined width is cut into tiles of up to ``width`` columns that may
+    span box boundaries.  Each column carries its own box's limits and
+    variates, which the kernel handles exactly (see the module docs), so the
+    per-chain probabilities equal the interleaved schedule's; tile widths
+    stay multiples of :data:`_COLUMN_LANE` to keep the BLAS per-column
+    results bitwise identical as well.
+    """
+    n = factor.n
+    row_ranges = factor.row_ranges
+    n_row_blocks = len(row_ranges)
+    total = len(wave) * n_samples
+    width = max(chain_block, min(BATCH_CHAIN_BLOCK, total))
+    if width % _COLUMN_LANE and width > _COLUMN_LANE:
+        width -= width % _COLUMN_LANE
+    width = min(width, total)
+
+    neginf_blocks = {
+        box: [bool(np.all(np.isneginf(limits[box][0][r0:r1]))) for (r0, r1) in row_ranges]
+        for box in wave
+    }
+
+    col_ranges = [(c0, min(c0 + width, total)) for c0 in range(0, total, width)]
+    n_blocks = len(col_ranges)
+
+    def _segments(c0: int, c1: int) -> list[tuple[int, int, int, int]]:
+        """Box segments covering fused columns [c0, c1): (box, lo, hi, offset)."""
+        segs = []
+        for w_idx in range(c0 // n_samples, (c1 - 1) // n_samples + 1):
+            lo = max(c0, w_idx * n_samples)
+            hi = min(c1, (w_idx + 1) * n_samples)
+            segs.append((wave[w_idx], lo - w_idx * n_samples, hi - w_idx * n_samples, lo - c0))
+        return segs
+
+    seg_lists = [_segments(c0, c1) for (c0, c1) in col_ranges]
+
+    with timed(timings, "qmc_generation"):
+        # one draw per box, in box order — identical rng consumption to the
+        # interleaved schedule and to a loop of single-box sweeps
+        r_matrices = {
+            box: qmc_samples(n, n_samples, method=options.qmc, rng=options.rng)
+            for box in wave
+        }
+
+    a_blocks: list[list[np.ndarray]] = []
+    b_blocks: list[list[np.ndarray]] = []
+    y_blocks: list[list[np.ndarray]] = []
+    r_blocks: list[list[np.ndarray]] = []
+    p_segments: list[np.ndarray] = []
+    with timed(timings, "workspace_setup"):
+        for slot, (c0, c1) in enumerate(col_ranges):
+            w = c1 - c0
+            a_col = []
+            b_col = []
+            y_col = []
+            r_col = []
+            for r_idx, (r0, r1) in enumerate(row_ranges):
+                rows = r1 - r0
+                a_tile = workspace.get(("a", slot, r_idx), (rows, w))
+                b_tile = workspace.get(("b", slot, r_idx), (rows, w))
+                y_tile = workspace.get(("y", slot, r_idx), (rows, w))
+                y_tile[...] = 0.0
+                r_tile = workspace.get(("r", slot, r_idx), (rows, w))
+                for box, lo, hi, off in seg_lists[slot]:
+                    a_vec, b_vec = limits[box]
+                    seg = slice(off, off + (hi - lo))
+                    a_tile[:, seg] = a_vec[r0:r1, None]
+                    b_tile[:, seg] = b_vec[r0:r1, None]
+                    np.copyto(r_tile[:, seg], r_matrices[box][r0:r1, lo:hi])
+                a_col.append(a_tile)
+                b_col.append(b_tile)
+                y_col.append(y_tile)
+                r_col.append(r_tile)
+            a_blocks.append(a_col)
+            b_blocks.append(b_col)
+            y_blocks.append(y_col)
+            r_blocks.append(r_col)
+            p_seg = workspace.get(("p", slot), (w,))
+            p_seg[...] = 1.0
+            p_segments.append(p_seg)
+    del r_matrices
+
+    # the A-side axpy of a fused tile can only be skipped when *every* box
+    # with columns in the tile has an all--inf lower-limit row block
+    skip_a = [
+        [
+            all(neginf_blocks[box][j] for (box, _lo, _hi, _off) in seg_lists[k])
+            for j in range(n_row_blocks)
+        ]
+        for k in range(n_blocks)
+    ]
+    labels = [f"f{k}" for k in range(n_blocks)]
+    _submit_sweep(
+        rt, factor, labels, a_blocks, b_blocks, y_blocks, r_blocks,
+        p_segments, None, None, skip_a, workspace, backend, clock, timings,
+    )
+
+    for w_idx, box in enumerate(wave):
+        g0 = w_idx * n_samples
+        g1 = g0 + n_samples
+        parts = []
+        for k, (c0, c1) in enumerate(col_ranges):
+            lo = max(c0, g0)
+            hi = min(c1, g1)
+            if lo < hi:
+                parts.append(p_segments[k][lo - c0:hi - c0])
+        chain_values = np.concatenate(parts)
         estimate = float(chain_values.mean())
         std_err = float(chain_values.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0
-        details: dict = {"chain_block": chain_block, "n_row_blocks": n_row_blocks}
-        if options.return_prefix:
-            total_sum = np.sum([prefix_sums[k] for k in own], axis=0)
-            total_sumsq = np.sum([prefix_sumsqs[k] for k in own], axis=0)
-            prefix_mean = total_sum / n_samples
-            prefix_var = np.maximum(total_sumsq / n_samples - prefix_mean**2, 0.0)
-            details["prefix_probabilities"] = prefix_mean
-            details["prefix_errors"] = np.sqrt(prefix_var / n_samples)
+        details: dict = {
+            "chain_block": width,
+            "n_row_blocks": n_row_blocks,
+            "fused_cols": total,
+        }
         results[box] = MVNResult(estimate, std_err, n_samples, n, method="pmvn", details=details)
 
 
@@ -655,6 +927,7 @@ def pmvn_dense(
     factor: CholeskyFactor | None = None,
     backend: str | None = None,
     workspace: SweepWorkspace | None = None,
+    kernel_threads: int | None = None,
 ) -> MVNResult:
     """Dense tile-parallel MVN probability (tiled Cholesky + PMVN sweep).
 
@@ -671,6 +944,7 @@ def pmvn_dense(
     options = PMVNOptions(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
         backend=backend, workspace=workspace, timings=timings,
+        kernel_threads=kernel_threads,
     )
     result = pmvn_integrate(a, b, factor, options, runtime=runtime, mean=mean)
     result.method = "pmvn-dense"
@@ -696,6 +970,7 @@ def pmvn_tlr(
     factor: CholeskyFactor | None = None,
     backend: str | None = None,
     workspace: SweepWorkspace | None = None,
+    kernel_threads: int | None = None,
 ) -> MVNResult:
     """TLR-accelerated MVN probability (TLR Cholesky + PMVN sweep).
 
@@ -720,6 +995,7 @@ def pmvn_tlr(
     options = PMVNOptions(
         n_samples=n_samples, chain_block=chain_block, qmc=qmc, rng=rng,
         backend=backend, workspace=workspace, timings=timings,
+        kernel_threads=kernel_threads,
     )
     result = pmvn_integrate(a, b, factor, options, runtime=runtime, mean=mean)
     result.method = "pmvn-tlr"

@@ -11,6 +11,13 @@
 These rates are what the closed-form models and the distributed simulator
 scale to other node counts; the shape of the predictions (speedups,
 crossovers) therefore reflects measured constants rather than guesses.
+
+The QMC throughput depends on the kernel backend, so ``calibrate`` accepts
+``backend=`` and :func:`calibrate_backends` sweeps every available backend —
+feeding per-backend :class:`repro.distributed.pmvn_model.KernelRates` into
+:class:`repro.runtime.estimates.ModelEstimator` keeps the scheduler's cost
+estimates honest when a parallel kernel makes the sweep several times
+faster.
 """
 
 from __future__ import annotations
@@ -21,11 +28,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import cholesky as scipy_cholesky
 
+from repro.core.kernel_backend import available_backends, get_backend
 from repro.core.qmc_kernel import qmc_kernel_tile
 from repro.tlr.compression import LowRankTile, lowrank_matmul_dense
 from repro.utils.validation import check_positive_int
 
-__all__ = ["CalibrationResult", "calibrate"]
+__all__ = ["CalibrationResult", "calibrate", "calibrate_backends"]
 
 
 @dataclass
@@ -38,11 +46,15 @@ class CalibrationResult:
     qmc_rows_per_second: float
     lowrank_gemm_gflops: float
     rank: int
+    #: kernel backend the QMC throughput was measured with (the *resolved*
+    #: name — e.g. "numpy" when an absent numba was requested and fell back)
+    backend: str | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        via = f" via {self.backend}" if self.backend else ""
         return (
             f"CalibrationResult(nb={self.tile_size}, gemm={self.gemm_gflops:.1f} GF/s, "
-            f"potrf={self.potrf_gflops:.1f} GF/s, qmc={self.qmc_rows_per_second:.3g} rows/s, "
+            f"potrf={self.potrf_gflops:.1f} GF/s, qmc={self.qmc_rows_per_second:.3g} rows/s{via}, "
             f"lr-gemm={self.lowrank_gemm_gflops:.1f} GF/s @ k={self.rank})"
         )
 
@@ -62,11 +74,18 @@ def _time_repeated(fn, min_seconds: float = 0.05, max_repeats: int = 50) -> floa
     return float(np.median(times))
 
 
-def calibrate(tile_size: int = 256, rank: int = 16, n_chains: int = 256, rng=None) -> CalibrationResult:
-    """Measure local kernel rates at the given tile size."""
+def calibrate(tile_size: int = 256, rank: int = 16, n_chains: int = 256, rng=None,
+              backend: str | None = None) -> CalibrationResult:
+    """Measure local kernel rates at the given tile size.
+
+    ``backend=`` selects the QMC kernel implementation being timed (the
+    GEMM/POTRF/low-rank rates are backend-independent); ``None`` follows the
+    usual resolution (``$REPRO_KERNEL_BACKEND`` then ``"numpy"``).
+    """
     tile_size = check_positive_int(tile_size, "tile_size")
     rank = check_positive_int(rank, "rank")
     n_chains = check_positive_int(n_chains, "n_chains")
+    resolved_backend = get_backend(backend)
     rng = np.random.default_rng(rng)
     nb = tile_size
 
@@ -92,6 +111,7 @@ def calibrate(tile_size: int = 256, rank: int = 16, n_chains: int = 256, rng=Non
             b_tile.copy(),
             np.ones(n_chains),
             np.zeros((nb, n_chains)),
+            backend=resolved_backend,
         )
 
     qmc_time = _time_repeated(run_qmc)
@@ -110,4 +130,28 @@ def calibrate(tile_size: int = 256, rank: int = 16, n_chains: int = 256, rng=Non
         qmc_rows_per_second=qmc_rows_per_second,
         lowrank_gemm_gflops=lowrank_gemm_gflops,
         rank=rank,
+        backend=resolved_backend.name,
     )
+
+
+def calibrate_backends(backends=None, tile_size: int = 256, rank: int = 16,
+                       n_chains: int = 256, rng=None) -> dict[str, CalibrationResult]:
+    """Per-backend calibration: one :func:`calibrate` run per kernel backend.
+
+    ``backends=None`` measures every backend available on this install.
+    Requested names that resolve to a different backend (e.g. ``"numba"``
+    falling back to ``"numpy"`` on a minimal install) are recorded under the
+    *resolved* name, so a rate is never attributed to a backend that did not
+    actually run; duplicates collapse to one measurement.
+    """
+    names = list(backends) if backends is not None else available_backends()
+    out: dict[str, CalibrationResult] = {}
+    for name in names:
+        resolved = get_backend(name).name
+        if resolved in out:
+            continue
+        out[resolved] = calibrate(
+            tile_size=tile_size, rank=rank, n_chains=n_chains, rng=rng,
+            backend=resolved,
+        )
+    return out

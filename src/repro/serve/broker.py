@@ -16,7 +16,12 @@ that owns the fingerprint (:func:`repro.serve.pool.shard_for_fingerprint`).
 Batching changes the schedule, never the estimator, and the shard runs the
 very same solver code a direct caller would — so served probabilities are
 bit-identical to direct :class:`repro.solver.Model` calls with the same
-seed (``tests/test_serve.py`` pins this per kernel backend).
+seed (``tests/test_serve.py`` pins this per kernel backend).  When the
+shard's solver config allows it (``batch_fusion="auto"``, the default), a
+micro-batch executes as one *fused* (boxes x samples) sweep instead of N
+interleaved per-box sweeps — see the fused-batch docs in
+:mod:`repro.core.pmvn`; ``details["serve"]["fusion"]`` records which
+schedule ran.
 
 Backpressure is a hard cap on submitted-but-unfinished requests
 (``max_pending``): at the limit ``submit`` blocks, and ``submit(...,
@@ -736,6 +741,10 @@ class QueryBroker:
                         "batch_size": batch_size,
                         "batch_fill": batch_size / self.config.max_batch,
                         "queue_seconds": dispatched_at - request.enqueued,
+                        # which batched-sweep schedule the shard's solver ran
+                        # (micro-batches fuse into one (boxes x samples)
+                        # sweep when the solver config allows it)
+                        "fusion": result.details.get("fusion"),
                     }
                     self._resolve(request.future, result=result)
             else:  # "error"

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.kernel_backend import resolve_backend_name
 from repro.core.methods import AUTO_METHOD, PARALLEL_METHODS, canonical_method
+from repro.core.pmvn import BATCH_FUSION_MODES
 from repro.runtime.scheduler import canonical_policy
 
 __all__ = ["SolverConfig"]
@@ -53,10 +54,22 @@ class SolverConfig:
     max_workspace_cols : int, optional
         Cap on the chains materialized at once by the batched sweep.
     backend : str, optional
-        QMC kernel backend (``"numpy"``, ``"numba"``, ``"reference"``,
-        ``"auto"``); ``None`` follows ``$REPRO_KERNEL_BACKEND`` and defaults
-        to the fused bit-identical numpy backend.  See
+        QMC kernel backend (``"numpy"``, ``"numba"``, ``"numba-parallel"``,
+        ``"cupy"``, ``"reference"``, ``"auto"``); ``None`` follows
+        ``$REPRO_KERNEL_BACKEND`` and defaults to the fused bit-identical
+        numpy backend.  Unknown names raise at construction.  See
         :mod:`repro.core.kernel_backend` and ``docs/performance.md``.
+    kernel_threads : int, optional
+        Thread count for chain-parallel kernel backends
+        (``numba-parallel``); ``None`` defers to ``$REPRO_KERNEL_THREADS``
+        and then to the backend default (all cores).  Single-threaded
+        backends ignore it.
+    batch_fusion : str, optional
+        Batched sweep schedule: ``"auto"`` (default) fuses a batch's boxes
+        into cache-sized (boxes x samples) tiles whenever results stay
+        bitwise identical to the interleaved schedule, ``"fused"`` forces
+        fusion, ``"interleaved"`` forces the per-box schedule.  See
+        :class:`repro.core.pmvn.PMVNOptions`.
     policy : str, optional
         Runtime scheduling policy for solvers built from this config
         (canonicalized through
@@ -75,6 +88,8 @@ class SolverConfig:
     chain_block: int | None = None
     max_workspace_cols: int | None = None
     backend: str | None = None
+    kernel_threads: int | None = None
+    batch_fusion: str | None = None
     policy: str | None = None
 
     def __post_init__(self) -> None:
@@ -90,6 +105,14 @@ class SolverConfig:
         object.__setattr__(self, "accuracy", float(self.accuracy))
         object.__setattr__(self, "max_rank", self._positive_int("max_rank", self.max_rank, optional=True))
         object.__setattr__(self, "chain_block", self._positive_int("chain_block", self.chain_block, optional=True))
+        object.__setattr__(self, "kernel_threads", self._positive_int("kernel_threads", self.kernel_threads, optional=True))
+        if self.batch_fusion is not None:
+            fusion = str(self.batch_fusion).lower()
+            if fusion not in BATCH_FUSION_MODES:
+                raise ValueError(
+                    f"batch_fusion must be one of {BATCH_FUSION_MODES}, got {self.batch_fusion!r}"
+                )
+            object.__setattr__(self, "batch_fusion", fusion)
         if self.policy is not None:
             object.__setattr__(self, "policy", canonical_policy(self.policy))
 

@@ -417,6 +417,7 @@ class Model:
                 runtime=solver.runtime, mean=mean, qmc=qmc, rng=rng,
                 chain_block=cfg.chain_block, factor=factor,
                 backend=backend, workspace=self._sweep_workspace,
+                kernel_threads=cfg.kernel_threads,
                 timings=timings,
             )
         # method == "tlr" (the registry admits nothing else)
@@ -425,6 +426,7 @@ class Model:
             accuracy=cfg.accuracy, max_rank=cfg.max_rank, runtime=solver.runtime,
             mean=mean, qmc=qmc, rng=rng, chain_block=cfg.chain_block,
             factor=factor, backend=backend, workspace=self._sweep_workspace,
+            kernel_threads=cfg.kernel_threads,
             timings=timings,
         )
 
@@ -503,6 +505,7 @@ class Model:
             solver.runtime, factor, cfg.chain_block,
             cfg.max_workspace_cols, timings,
             backend=plan.backend, workspace=self._sweep_workspace,
+            kernel_threads=cfg.kernel_threads, fusion=cfg.batch_fusion,
         )
 
     def _escalate_batch(self, plan, boxes, means, qmc, rng, timings,

@@ -1,0 +1,355 @@
+"""Tests for the parallel-kernel round: fallback chains, thread-count
+control, and fused-batch vs interleaved-batch bit-parity.
+
+Three contracts from the raw-speed PR:
+
+* **fallback chains** — ``numba-parallel`` degrades to ``numba`` to
+  ``numpy`` with a one-time warning when numba is absent; ``cupy`` is never
+  picked silently (absent means absent from :func:`available_backends`,
+  ``"auto"`` never selects it, and an *explicit* request raises);
+* **thread control** — ``SolverConfig.kernel_threads`` /
+  ``set_kernel_threads`` / ``$REPRO_KERNEL_THREADS`` resolve in that order
+  and reject nonsense early;
+* **fusion parity** — the fused (boxes x samples) batch schedule is a speed
+  knob, never a numerics knob: bitwise identical to the interleaved
+  schedule across seeds, methods and limit kinds whenever it engages, and
+  the ``"auto"`` predicate only engages it on lane-aligned workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import mvn_probability_batch
+from repro.core import factorize
+from repro.core.kernel_backend import (
+    BACKEND_ENV_VAR,
+    KERNEL_THREADS_ENV_VAR,
+    KernelBackend,
+    _numba_kernel_py,
+    _numba_parallel_kernel_py,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+    resolve_kernel_threads,
+    set_kernel_threads,
+)
+from repro.core.pmvn import (
+    BATCH_FUSION_MODES,
+    PMVNOptions,
+    pmvn_integrate_batch,
+)
+from repro.solver import SolverConfig
+from repro.stats.qmc import qmc_samples
+
+numba_missing = "numba" not in available_backends()
+cupy_missing = "cupy" not in available_backends()
+
+
+@pytest.fixture
+def spd36(rng):
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+    geom = Geometry.regular_grid(6, 6)
+    return build_covariance(ExponentialKernel(1.0, 0.25), geom.locations, nugget=1e-8)
+
+
+def _boxes(n, rng, kinds=("one-sided", "two-sided", "mixed")):
+    out = []
+    for kind in kinds:
+        if kind == "one-sided":
+            out.append((np.full(n, -np.inf), rng.uniform(0.5, 2.0, n)))
+        elif kind == "two-sided":
+            out.append((-rng.uniform(1.0, 3.0, n), rng.uniform(0.5, 2.0, n)))
+        else:
+            out.append((
+                np.where(np.arange(n) % 3 == 0, -np.inf, -1.5),
+                np.where(np.arange(n) % 5 == 0, np.inf, 1.2),
+            ))
+    return out
+
+
+class TestFallbackChains:
+    @pytest.mark.skipif(not numba_missing, reason="numba is installed here")
+    def test_numba_parallel_falls_back_to_numpy(self):
+        import repro.core.kernel_backend as kb
+
+        kb._FALLBACK_WARNED = False
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = get_backend("numba-parallel")
+        assert backend.name == "numpy"
+        # the warning is one-time: a second request stays silent
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert get_backend("numba-parallel").name == "numpy"
+
+    @pytest.mark.skipif(not numba_missing, reason="numba is installed here")
+    def test_auto_prefers_cpu_chain_never_cupy(self):
+        assert get_backend("auto").name == "numpy"
+
+    @pytest.mark.skipif(not numba_missing, reason="numba is installed here")
+    def test_config_accepts_parallel_name_without_numba(self):
+        # validation must not require numba: the fallback happens at dispatch
+        assert SolverConfig(backend="numba-parallel").backend == "numba-parallel"
+
+    @pytest.mark.skipif(not cupy_missing, reason="cupy is installed here")
+    def test_cupy_absent_is_absent(self):
+        assert "cupy" not in available_backends()
+        with pytest.raises(ValueError, match="not available"):
+            resolve_backend_name("cupy")
+        with pytest.raises(ValueError, match="available"):
+            get_backend("cupy")
+        # a GPU request must never silently run on one CPU core
+        with pytest.raises(ValueError):
+            SolverConfig(backend="cupy")
+
+    def test_unknown_env_backend_names_the_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "tpu")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            resolve_backend_name(None)
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="available on this install"):
+            resolve_backend_name("vulkan")
+
+    @pytest.mark.skipif(not numba_missing, reason="numba is installed here")
+    def test_require_available_rejects_missing_numba(self):
+        with pytest.raises(ValueError, match="not available"):
+            resolve_backend_name("numba-parallel", require_available=True)
+
+
+class TestParallelKernelBody:
+    def test_parallel_recursion_bit_identical_to_serial(self, small_spd):
+        """The prange body is the serial numba body, chain by chain.
+
+        Runs the exact functions numba compiles (pure-Python here, with
+        ``prange = range``), so the staged prefix reduction and the per-chain
+        arithmetic are covered even on installs without numba.
+        """
+        n = small_spd.shape[0]
+        c = 96
+        l_tile = np.linalg.cholesky(small_spd)
+        inv_diag = 1.0 / np.diag(l_tile)
+        r_tile = qmc_samples(n, c, rng=5)
+        a_tile = np.full((n, c), -np.inf)
+        a_tile[::2] = -1.4
+        b_tile = np.full((n, c), 1.1)
+        b_tile[1::4] = np.inf
+        for do_prefix in (False, True):
+            p_s, p_p = np.ones(c), np.ones(c)
+            y_s, y_p = np.zeros((n, c)), np.zeros((n, c))
+            ps_s, ps_p = np.zeros(n), np.zeros(n)
+            qq_s, qq_p = np.zeros(n), np.zeros(n)
+            _numba_kernel_py(l_tile, r_tile, a_tile.copy(), b_tile.copy(),
+                             p_s, y_s, inv_diag, ps_s, qq_s, do_prefix)
+            _numba_parallel_kernel_py(l_tile, r_tile, a_tile.copy(), b_tile.copy(),
+                                      p_p, y_p, inv_diag, ps_p, qq_p, do_prefix)
+            np.testing.assert_array_equal(p_p, p_s)
+            np.testing.assert_array_equal(y_p, y_s)
+            np.testing.assert_array_equal(ps_p, ps_s)
+            np.testing.assert_array_equal(qq_p, qq_s)
+
+    @pytest.mark.skipif(numba_missing, reason="numba not installed")
+    def test_compiled_parallel_bit_identical_to_serial(self, spd36, rng):
+        from repro.core import pmvn_dense
+
+        n = spd36.shape[0]
+        a, b = np.full(n, -np.inf), rng.uniform(0.5, 2.0, n)
+        serial = pmvn_dense(a, b, spd36, n_samples=600, tile_size=7, rng=3,
+                            backend="numba")
+        for threads in (1, 2):
+            par = pmvn_dense(a, b, spd36, n_samples=600, tile_size=7, rng=3,
+                             backend="numba-parallel", kernel_threads=threads)
+            assert par.details["backend"] == "numba-parallel"
+            assert par.probability == serial.probability
+            assert par.error == serial.error
+
+
+class TestThreadControl:
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_THREADS_ENV_VAR, raising=False)
+        assert resolve_kernel_threads() is None
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "3")
+        assert resolve_kernel_threads() == 3
+        prev = set_kernel_threads(2)
+        try:
+            assert resolve_kernel_threads() == 2          # setting beats env
+            assert resolve_kernel_threads(5) == 5         # explicit beats both
+        finally:
+            set_kernel_threads(prev)
+        assert resolve_kernel_threads() == 3
+
+    def test_set_returns_previous(self):
+        prev = set_kernel_threads(4)
+        try:
+            assert set_kernel_threads(None) == 4
+        finally:
+            set_kernel_threads(prev)
+
+    def test_invalid_threads_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="kernel_threads"):
+            set_kernel_threads(0)
+        with pytest.raises(ValueError):
+            resolve_kernel_threads(-1)
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match=KERNEL_THREADS_ENV_VAR):
+            resolve_kernel_threads()
+
+    def test_config_validates_threads_and_fusion(self):
+        assert SolverConfig(kernel_threads=2).kernel_threads == 2
+        assert SolverConfig(batch_fusion="Fused").batch_fusion == "fused"
+        with pytest.raises(ValueError, match="kernel_threads"):
+            SolverConfig(kernel_threads=0)
+        with pytest.raises(ValueError, match="batch_fusion"):
+            SolverConfig(batch_fusion="maybe")
+        assert SolverConfig().batch_fusion is None
+
+    def test_batch_restores_thread_setting(self, spd36, rng):
+        prev = set_kernel_threads(None)
+        try:
+            mvn_probability_batch(_boxes(spd36.shape[0], rng)[:2], spd36,
+                                  n_samples=96, tile_size=12, rng=0,
+                                  kernel_threads=2)
+            assert resolve_kernel_threads() is None
+        finally:
+            set_kernel_threads(prev)
+
+
+class TestFusionParity:
+    @pytest.mark.parametrize("method", ["dense", "tlr"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_fused_bitwise_matches_interleaved(self, spd36, rng, method, seed):
+        n = spd36.shape[0]
+        boxes = _boxes(n, rng)
+        kwargs = dict(method=method, n_samples=200, tile_size=7, rng=seed)
+        if method == "tlr":
+            kwargs["accuracy"] = 1e-5
+        fused = mvn_probability_batch(boxes, spd36, fusion="fused", **kwargs)
+        inter = mvn_probability_batch(boxes, spd36, fusion="interleaved", **kwargs)
+        for f, i in zip(fused, inter):
+            assert f.probability == i.probability
+            assert f.error == i.error
+        assert all(r.details["fusion"] == "fused" for r in fused)
+        assert all(r.details["fusion"] == "interleaved" for r in inter)
+
+    def test_auto_fuses_only_lane_aligned(self, spd36, rng):
+        boxes = _boxes(spd36.shape[0], rng)[:2]
+        aligned = mvn_probability_batch(boxes, spd36, n_samples=96,
+                                        tile_size=12, rng=1)
+        assert all(r.details["fusion"] == "fused" for r in aligned)
+        ragged = mvn_probability_batch(boxes, spd36, n_samples=90,
+                                       tile_size=12, rng=1)
+        assert all(r.details["fusion"] == "interleaved" for r in ragged)
+        single = mvn_probability_batch(boxes[:1], spd36, n_samples=96,
+                                       tile_size=12, rng=1)
+        assert single[0].details["fusion"] == "interleaved"
+
+    def test_auto_matches_forced_fused_bitwise(self, spd36, rng):
+        boxes = _boxes(spd36.shape[0], rng)
+        auto = mvn_probability_batch(boxes, spd36, n_samples=200, tile_size=7, rng=3)
+        forced = mvn_probability_batch(boxes, spd36, n_samples=200, tile_size=7,
+                                       rng=3, fusion="fused")
+        for a, f in zip(auto, forced):
+            assert a.probability == f.probability
+            assert a.error == f.error
+
+    def test_fused_with_return_prefix_rejected(self, spd36):
+        n = spd36.shape[0]
+        factor = factorize(spd36, method="dense", tile_size=12)
+        options = PMVNOptions(n_samples=96, rng=0, return_prefix=True,
+                              fusion="fused")
+        boxes = [(np.full(n, -np.inf), np.full(n, 1.0))] * 2
+        with pytest.raises(ValueError, match="return_prefix"):
+            pmvn_integrate_batch(boxes, factor, options)
+
+    def test_fusion_mode_validated(self, spd36):
+        assert BATCH_FUSION_MODES == ("auto", "fused", "interleaved")
+        factor = factorize(spd36, method="dense", tile_size=12)
+        n = spd36.shape[0]
+        boxes = [(np.full(n, -np.inf), np.full(n, 1.0))] * 2
+        with pytest.raises(ValueError, match="fusion"):
+            pmvn_integrate_batch(boxes, factor,
+                                 PMVNOptions(n_samples=96, rng=0, fusion="speedy"))
+
+    def test_fused_uses_wide_tiles(self, spd36, rng):
+        """The fused sweep's chain block spans boxes (that is the point)."""
+        boxes = _boxes(spd36.shape[0], rng)
+        fused = mvn_probability_batch(boxes, spd36, n_samples=96, tile_size=12,
+                                      rng=2, fusion="fused")
+        assert fused[0].details["fused_cols"] == 96 * len(boxes)
+        assert fused[0].details["chain_block"] > 96
+
+
+class TestAuxAccounting:
+    def test_aux_counters_reported_as_sweep_delta(self, spd36, rng):
+        """A backend's cumulative aux counters surface as per-sweep deltas
+        (the cupy backend's transfer accounting rides this path)."""
+        import repro.core.kernel_backend as kb
+
+        numpy_backend = get_backend("numpy")
+        state = {"h2d_seconds": 0.0}
+
+        def fake_run(*args, **kwargs):
+            state["h2d_seconds"] += 0.5
+            return numpy_backend.run(*args, **kwargs)
+
+        fake = KernelBackend(name="fake-accel", run=fake_run,
+                             bit_identical=True, aux=lambda: dict(state))
+        register_backend(fake)
+        try:
+            boxes = _boxes(spd36.shape[0], rng)[:2]
+            out = mvn_probability_batch(boxes, spd36, n_samples=96, tile_size=12,
+                                        rng=0, backend="fake-accel")
+            assert out[0].details["backend"] == "fake-accel"
+            # delta for this sweep only, despite the cumulative counter
+            assert out[0].details["h2d_seconds"] > 0.0
+            again = mvn_probability_batch(boxes, spd36, n_samples=96, tile_size=12,
+                                          rng=0, backend="fake-accel")
+            assert again[0].details["h2d_seconds"] == pytest.approx(
+                out[0].details["h2d_seconds"])
+        finally:
+            kb._REGISTRY.pop("fake-accel", None)
+
+
+class TestCalibrationPerBackend:
+    def test_calibrate_records_backend(self):
+        from repro.perf.calibration import calibrate
+
+        result = calibrate(tile_size=32, rank=4, n_chains=64, backend="reference")
+        assert result.backend == "reference"
+        assert result.qmc_rows_per_second > 0
+
+    def test_calibrate_backends_collapses_fallbacks(self):
+        from repro.perf.calibration import calibrate_backends
+
+        rates = calibrate_backends(["numpy", "numba-parallel"],
+                                   tile_size=32, rank=4, n_chains=64)
+        # on a numba-less install both names resolve to numpy: one entry
+        for name, result in rates.items():
+            assert name in available_backends()
+            assert result.backend == name
+
+
+class TestServeFusionStamp:
+    def test_served_details_record_fusion(self, spd36):
+        from repro.serve import QueryBroker, ServeConfig
+
+        n = spd36.shape[0]
+        config = ServeConfig(n_shards=1, worker_mode="thread", max_batch=4,
+                             batch_window=0.05)
+        solver_config = SolverConfig(method="dense", n_samples=96, tile_size=12)
+        with QueryBroker(config, solver_config) as broker:
+            futures = [
+                broker.submit(np.full(n, -np.inf), np.full(n, 0.5 + 0.1 * i),
+                              spd36, rng=0)
+                for i in range(4)
+            ]
+            results = [f.result() for f in futures]
+        modes = {r.details["serve"]["fusion"] for r in results}
+        assert modes <= {"fused", "interleaved"}
+        # concurrently submitted same-Sigma queries micro-batch, and 96 is
+        # lane-aligned, so at least one batch must have fused
+        assert "fused" in modes

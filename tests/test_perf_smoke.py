@@ -47,6 +47,18 @@ def test_hotpath_benchmark_smoke(tmp_path):
     assert record["speedup"]["numpy"]["kernel"] > 0.0
     assert record["gate"]["threshold"] == 1.5
 
+    # the multi-core section is always present; it either gated or says why
+    # it could not (never a fabricated verdict)
+    multicore = record["multicore"]
+    assert multicore["threshold"] == 3.0
+    assert multicore["cores"] >= 1
+    if multicore["applies"]:
+        assert isinstance(multicore["passed"], bool)
+        assert multicore["value"] > 0.0
+    else:
+        assert multicore["passed"] is None
+        assert multicore["skipped_reason"]
+
 
 def test_unavailable_backend_not_faked(tmp_path):
     """A requested backend that falls back must not appear as its own row."""
@@ -95,6 +107,22 @@ def test_serving_benchmark_smoke(tmp_path):
     assert sum(s["factorize_count"] for s in stats["shards"]) == 2
     assert record["paths"]["served"]["elapsed"] > 0.0
     assert record["gate"]["threshold"] == 3.0
+    # schedule parity holds at any size (here n_samples=60 is deliberately
+    # lane-misaligned, so auto stays interleaved and parity is trivial)
+    assert record["parity"]["fused_vs_interleaved_bit_identical"]
+    assert set(record["fusion"]["served_modes"]) <= {"fused", "interleaved"}
+
+
+def test_serving_benchmark_smoke_fused(tmp_path):
+    """A lane-aligned smoke run engages auto-fusion and stays bit-identical."""
+    record = run_serving_benchmark(
+        n=25, n_queries=8, n_sigmas=2, n_samples=64, method="dense",
+        n_shards=1, max_batch=4, repeats=1,
+        json_path=tmp_path / "bench.json",
+    )
+    assert record["parity"]["served_bit_identical"]
+    assert record["parity"]["fused_vs_interleaved_bit_identical"]
+    assert "fused" in record["fusion"]["served_modes"]
 
 
 def test_distributed_serving_benchmark_smoke(tmp_path):

@@ -267,7 +267,9 @@ class TestMicroBatching:
         a, b = _boxes(5, 1)[0]
         result = thread_broker.submit(a, b, sigma, rng=0).result(timeout=60)
         serve_details = result.details["serve"]
-        assert set(serve_details) == {"shard", "batch_size", "batch_fill", "queue_seconds"}
+        assert set(serve_details) == {"shard", "batch_size", "batch_fill",
+                                      "queue_seconds", "fusion"}
+        assert serve_details["fusion"] in ("fused", "interleaved")
         assert serve_details["queue_seconds"] >= 0.0
         # the batched-path metadata is preserved alongside
         assert result.details["batch_size"] == serve_details["batch_size"]
