@@ -1,0 +1,69 @@
+"""Online-update gate — rank-k up/down-date vs assemble-and-refactorize.
+
+The acceptance gate of the online-updates PR: answering a query against
+``Sigma + U U^T`` through :meth:`repro.solver.Model.update` of the warm
+parent factor must beat assembling the perturbed covariance and cold-
+factorizing it by at least **5x** for every update rank up to 16 at
+``n = 2048``, while matching the from-scratch estimate to ``1e-9``
+relative tolerance (same seed, same sweep — only the factor differs).
+
+Measurement protocol (see :mod:`repro.perf.online_updates`): the
+refactorize path runs first in every repeat, minima across repeats.
+
+Emits ``BENCH_online_updates.json`` at the repository root and a
+human-readable table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import save_table
+from repro.perf.online_updates import (
+    UPDATE_MATCH_RTOL,
+    UPDATE_SPEEDUP_GATE,
+    run_online_update_benchmark,
+)
+from repro.utils.reporting import Table
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_online_updates.json"
+
+REPEATS = 3
+SEED = 7
+
+
+def test_online_updates(benchmark):
+    """update+query >= 5x refactorize+query for rank <= 16, matching answers."""
+    record = benchmark.pedantic(
+        lambda: run_online_update_benchmark(repeats=REPEATS, seed=SEED,
+                                            json_path=JSON_PATH),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        ["rank", "refactorize (s)", "update (s)", "speedup", "rel diff"],
+        title=f"rank-k update vs refactorize, n={record['n']}, "
+              f"N={record['n_samples']} (cold refactorize, minima)",
+    )
+    for data in record["scenarios"].values():
+        table.add_row([
+            data["rank"], data["refactorize_seconds"], data["update_seconds"],
+            data["speedup"], data["rel_diff"],
+        ])
+    save_table(table, "online_updates")
+    print()
+    print(table.render())
+    print(f"wrote {JSON_PATH}")
+
+    for name, data in record["scenarios"].items():
+        assert data["matched"], (
+            f"{name}: updated-model estimate diverged from the from-scratch "
+            f"factorization by {data['rel_diff']:.2e} "
+            f"(tolerance: {UPDATE_MATCH_RTOL})"
+        )
+        assert data["speedup"] >= UPDATE_SPEEDUP_GATE, (
+            f"{name}: update+query only {data['speedup']:.2f}x faster than "
+            f"refactorize+query (gate: {UPDATE_SPEEDUP_GATE}x)"
+        )
+    assert record["gate"]["passed"]
+    assert JSON_PATH.exists()

@@ -75,6 +75,7 @@ from repro.core.api import mvn_probability, mvn_probability_batch
 from repro.core.crd import ConfidenceRegionResult, confidence_region, confidence_region_from_posterior
 from repro.core.pmvn import pmvn_dense, pmvn_tlr, pmvn_integrate, pmvn_integrate_batch, PMVNOptions
 from repro.core.factor import factorize
+from repro.core.update import DowndateError, FactorLineage, lineage_fingerprint, update_factor
 from repro.batch import FactorCache
 from repro.mvn import MVNResult, mvn_mc, mvn_sov, mvn_sov_vectorized
 from repro.query import MVNQuery, QueryPlan, QueryPlanner, plan_query
@@ -106,6 +107,10 @@ __all__ = [
     "pmvn_integrate_batch",
     "PMVNOptions",
     "factorize",
+    "DowndateError",
+    "FactorLineage",
+    "lineage_fingerprint",
+    "update_factor",
     "MVNResult",
     "mvn_mc",
     "mvn_sov",

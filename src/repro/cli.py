@@ -19,6 +19,11 @@ Three subcommands cover the library's main workflows without writing Python:
     Run confidence-region detection on a synthetic dataset (or a covariance /
     mean pair loaded from ``.npy``) and optionally save the result.
 
+``repro update``
+    Apply a rank-k Cholesky up/down-date to a warm factor
+    (:meth:`repro.solver.Model.update`) and query the updated model,
+    reporting the fingerprint lineage and the update-vs-refactorize cost.
+
 ``repro serve``
     Run the JSON-lines network gateway (:mod:`repro.serve.net`): a
     :class:`~repro.serve.broker.QueryBroker` behind an asyncio TCP server
@@ -145,6 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-phase timing breakdown of the detection")
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
     crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
+
+    update = sub.add_parser(
+        "update",
+        help="rank-k up/down-date of a warm factor, then query the updated model",
+        parents=[runtime_parent],
+    )
+    _add_mvn_problem_args(update)
+    update.add_argument("--upper", type=float, default=1.0,
+                        help="upper limit applied to every dimension")
+    update.add_argument("--lower", type=float, default=None,
+                        help="lower limit (default -inf)")
+    update.add_argument("--update-file", type=Path, default=None,
+                        help=".npy file with the n x k update matrix U "
+                             "(Sigma' = Sigma +/- U U^T)")
+    update.add_argument("--rank", type=int, default=4,
+                        help="synthetic update rank when no --update-file is given")
+    update.add_argument("--scale", type=float, default=0.1,
+                        help="entry scale of the synthetic update matrix")
+    update.add_argument("--downdate", action="store_true",
+                        help="subtract U U^T instead of adding it")
 
     gateway = sub.add_parser(
         "serve",
@@ -408,6 +433,50 @@ def _cmd_crd(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    """Factorize, apply a rank-k up/down-date, query both models."""
+    import time
+
+    from repro.core import DowndateError
+
+    sigma = _load_covariance(args)
+    n = sigma.shape[0]
+    if args.update_file is not None:
+        u = np.asarray(np.load(args.update_file), dtype=np.float64)
+    else:
+        rng = np.random.default_rng(args.seed)
+        u = args.scale * rng.standard_normal((n, args.rank))
+    lower = -np.inf if args.lower is None else args.lower
+    a = np.full(n, lower)
+    b = np.full(n, args.upper)
+    with _solver_from_args(args) as solver:
+        model = solver.model(sigma)
+        start = time.perf_counter()
+        parent = model.probability(a, b, rng=args.seed)
+        parent_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        try:
+            child_model = model.update(u, downdate=args.downdate)
+        except DowndateError as exc:
+            raise SystemExit(f"downdate rejected (would lose positive "
+                             f"definiteness): {exc}")
+        child = child_model.probability(a, b, rng=args.seed)
+        child_elapsed = time.perf_counter() - start
+    lineage = child.details["lineage"]
+    direction = "downdate" if args.downdate else "update"
+    print(f"dimension        : {n}")
+    print(f"update           : rank {u.shape[1] if u.ndim == 2 else 1} {direction}")
+    print(f"parent prob      : {parent.probability:.8g}  "
+          f"(factorize+query {parent_elapsed:.3f} s)")
+    print(f"updated prob     : {child.probability:.8g}  "
+          f"(update+query {child_elapsed:.3f} s)")
+    print(f"lineage          : depth {lineage['depth']}, "
+          f"parent {lineage['parent'][:12]}..., "
+          f"child {lineage['fingerprint'][:12]}...")
+    _print_plan_outcome(child.details.get("plan"), args)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the network gateway until interrupted (Ctrl-C exits cleanly)."""
     import asyncio
@@ -501,6 +570,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "crd":
         return _cmd_crd(args)
+    if args.command == "update":
+        return _cmd_update(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "serve-bench":

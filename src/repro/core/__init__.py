@@ -19,6 +19,12 @@ Public entry points
 """
 
 from repro.core.factor import CholeskyFactor, DenseTileFactor, TLRFactor, factorize
+from repro.core.update import (
+    DowndateError,
+    FactorLineage,
+    lineage_fingerprint,
+    update_factor,
+)
 from repro.core.methods import ACCEPTED_METHODS, METHOD_SPECS, canonical_method
 from repro.core.qmc_kernel import qmc_kernel_tile
 from repro.core.kernel_backend import KernelWorkspace, available_backends, get_backend
@@ -36,6 +42,10 @@ __all__ = [
     "DenseTileFactor",
     "TLRFactor",
     "factorize",
+    "DowndateError",
+    "FactorLineage",
+    "lineage_fingerprint",
+    "update_factor",
     "ACCEPTED_METHODS",
     "METHOD_SPECS",
     "canonical_method",

@@ -1,0 +1,296 @@
+"""Rank-k Cholesky up/down-dates on tiled factors.
+
+Given a factor ``L`` of ``Sigma`` and an update matrix ``U`` of shape
+``(n, k)``, compute the factor of ``Sigma + U @ U.T`` (update) or
+``Sigma - U @ U.T`` (downdate) **without refactorizing** — ``O(n^2 k)``
+work instead of ``O(n^3)``.  This is what lets a served model survive a
+data change (new sensor, sliding window step, posterior refresh) at a
+fraction of the cold-start cost; see ``docs/updates.md``.
+
+Algorithm
+---------
+The blocked closed form.  For each diagonal block ``D`` (lower
+triangular, ``m x m``) with the update rows ``W`` (``m x k``) that have
+been propagated down to it:
+
+.. math::
+
+    S = D^{-1} W, \\qquad
+    E E^T = I_k \\pm S^T S, \\qquad
+    C C^T = I_m \\pm S S^T
+
+then ``D' = tril(D C)`` is the new diagonal block, every block-row
+``X`` below it in the same block column becomes
+``X' = (X \\pm W_{below} S^T) C^{-T}``, and the update rows carried to
+the next block column become ``W' = (W_{below} - X S) E^{-T}``.  The
+transformation ``[D', X'] = [D, X] H`` with ``H`` orthogonal (update)
+or ``J``-orthogonal (downdate) preserves ``L L^T = Sigma \\pm U U^T``
+block by block, and uniqueness of the Cholesky factor makes the result
+elementwise equal to a from-scratch factorization (up to roundoff).
+
+A downdate destroys positive definiteness exactly when
+``I_k - S^T S`` stops being positive definite, so the small ``k x k``
+Cholesky of ``E`` is a complete early failure detector: it raises
+:class:`DowndateError` *before* any factor data is modified in a way
+that would leak NaNs into later queries.
+
+For TLR factors the same block-column step runs with ``m`` equal to the
+tile size and the low-rank off-diagonal tiles refreshed in factored
+form: ``X = u v^T`` becomes ``u' = [u, W]``, ``v' = [C^{-1} v, \\pm
+C^{-1} S]`` followed by a recompression, so the stored rank grows by at
+most ``k`` before rounding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.core.factor import CholeskyFactor, DenseTileFactor, TLRFactor
+from repro.tile.layout import TileMatrix
+from repro.tlr.compression import LowRankTile, recompress
+from repro.tlr.matrix import TLRMatrix
+
+__all__ = [
+    "DowndateError",
+    "FactorLineage",
+    "lineage_fingerprint",
+    "normalize_update",
+    "rank_update_dense",
+    "rank_update_tlr",
+    "update_factor",
+]
+
+#: sub-block size of the dense panel elimination; the triangular solves and
+#: small Cholesky factors stay cache-resident at this extent
+UPDATE_BLOCK = 64
+
+
+class DowndateError(ArithmeticError):
+    """A rank-k downdate would destroy positive definiteness.
+
+    Raised *before* the factor is modified (the violation is detected on a
+    ``k x k`` Gram matrix), so the model that attempted the downdate is
+    still valid and the caller can fall back to refactorizing against the
+    true covariance — or reject the request outright.
+    """
+
+
+def normalize_update(u, n: int | None = None) -> np.ndarray:
+    """Validate and normalize an update matrix to ``(n, k)`` float64.
+
+    A 1-D vector is promoted to a single-column rank-1 update.  The result
+    is C-contiguous and safe to hash or ship over the serve protocol.
+    """
+    arr = np.ascontiguousarray(np.asarray(u, dtype=np.float64))
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"update matrix must be (n, k) or (n,), got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(
+            f"update matrix has {arr.shape[0]} rows but the factor dimension is {n}"
+        )
+    if arr.shape[1] == 0 or arr.shape[0] == 0:
+        raise ValueError("update matrix must have at least one row and one column")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("update matrix contains non-finite values")
+    return arr
+
+
+def lineage_fingerprint(parent_fingerprint: str, u, downdate: bool = False) -> str:
+    """Derived fingerprint of ``Sigma ± U U^T`` given the parent's.
+
+    The child covariance is never assembled on the update fast path, so its
+    identity is *derived*: a hash over the parent fingerprint, the
+    normalized update bytes, and the direction.  The same parent and the
+    same update always produce the same child fingerprint, which is what
+    lets the serve broker route an updated model to the shard already
+    holding the parent factor.
+    """
+    arr = normalize_update(u)
+    digest = hashlib.sha256()
+    digest.update(parent_fingerprint.encode())
+    digest.update(b"downdate" if downdate else b"update")
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class FactorLineage:
+    """Provenance of an updated factor.
+
+    ``depth`` counts update steps from the nearest content-fingerprinted
+    ancestor (a factor built by :func:`repro.core.factor.factorize`), so a
+    chain of updates carries its drift budget with it.
+    """
+
+    parent_fingerprint: str
+    child_fingerprint: str
+    rank: int
+    downdate: bool
+    depth: int = 1
+
+    def as_details(self) -> dict:
+        """JSON-safe form stamped into ``MVNResult.details['lineage']``."""
+        return {
+            "parent": self.parent_fingerprint,
+            "fingerprint": self.child_fingerprint,
+            "rank": self.rank,
+            "downdate": self.downdate,
+            "depth": self.depth,
+        }
+
+
+def _panel_core(panel: np.ndarray, w: np.ndarray, sign: float, bu: int, ik: np.ndarray) -> None:
+    """Eliminate one block column held as a contiguous panel, in place.
+
+    ``panel`` is the ``(n - r0) x nb`` slab of the factor's block column
+    (diagonal block on top), ``w`` the matching rows of the update matrix;
+    both are overwritten with their post-update values.
+    """
+    nb = panel.shape[1]
+    for j0 in range(0, nb, bu):
+        j1 = min(j0 + bu, nb)
+        m = j1 - j0
+        diag = panel[j0:j1, j0:j1]
+        s = solve_triangular(diag, w[j0:j1], lower=True, check_finite=False)
+        gram = s.T @ s
+        if sign < 0:
+            # the k x k test is the complete PD check: I - S^T S and
+            # I - S S^T share their sub-unit spectrum
+            try:
+                e = np.linalg.cholesky(ik - gram)
+            except np.linalg.LinAlgError:
+                raise DowndateError(
+                    "rank-%d downdate is not positive definite (block rows %d:%d)"
+                    % (w.shape[1], j0, j1)
+                ) from None
+            cm = np.linalg.cholesky(np.eye(m) - s @ s.T)
+        else:
+            e = np.linalg.cholesky(ik + gram)
+            cm = np.linalg.cholesky(np.eye(m) + s @ s.T)
+        panel[j0:j1, j0:j1] = np.tril(diag @ cm)
+        x1 = panel[j1:, j0:j1]
+        x2 = w[j1:]
+        if x1.shape[0]:
+            x1s = x1 @ s  # read BEFORE the panel rows are overwritten
+            x1p = x1 + sign * (x2 @ s.T)
+            panel[j1:, j0:j1] = solve_triangular(cm, x1p.T, lower=True, check_finite=False).T
+            w[j1:] = solve_triangular(e, (x2 - x1s).T, lower=True, check_finite=False).T
+
+
+def rank_update_dense(tiles: TileMatrix, u, downdate: bool = False, bu: int = UPDATE_BLOCK) -> TileMatrix:
+    """Rank-k up/down-date of a dense tiled Cholesky factor, in place.
+
+    Each block column is gathered into one contiguous panel, eliminated
+    with :data:`UPDATE_BLOCK`-sized sub-blocks, and scattered back — the
+    gather/scatter cost is a few percent of the BLAS work at production
+    tile sizes.  Raises :class:`DowndateError` (factor left unusable; the
+    caller copies first) when a downdate breaks positive definiteness.
+    """
+    n = tiles.n
+    w = normalize_update(u, n).copy()
+    sign = -1.0 if downdate else 1.0
+    ik = np.eye(w.shape[1])
+    ranges = tiles.row_ranges
+    nt = len(ranges)
+    for r in range(nt):
+        r0, _ = ranges[r]
+        panel = np.empty((n - r0, ranges[r][1] - r0))
+        for i in range(r, nt):
+            i0, i1 = ranges[i]
+            blk = tiles.tile(i, r)
+            # normalize the diagonal tile: factorization may leave junk above
+            # the diagonal, and the elimination multiplies the whole block
+            panel[i0 - r0:i1 - r0] = np.tril(blk) if i == r else blk
+        _panel_core(panel, w[r0:], sign, bu, ik)
+        for i in range(r, nt):
+            i0, i1 = ranges[i]
+            tiles.set_tile(i, r, panel[i0 - r0:i1 - r0])
+    return tiles
+
+
+def rank_update_tlr(tlr: TLRMatrix, u, downdate: bool = False) -> TLRMatrix:
+    """Rank-k up/down-date of a TLR Cholesky factor, in place.
+
+    The block-column step runs with ``m`` equal to the tile size; each
+    low-rank off-diagonal tile is refreshed in factored form (its stored
+    rank grows by at most ``k``) and recompressed at the factor's original
+    accuracy/rank budget.  Raises :class:`DowndateError` on PD violation.
+    """
+    n = tlr.n
+    w = normalize_update(u, n).copy()
+    sign = -1.0 if downdate else 1.0
+    k = w.shape[1]
+    ik = np.eye(k)
+    ranges = tlr.ranges
+    nt = len(ranges)
+    for r in range(nt):
+        r0, r1 = ranges[r]
+        diag = np.tril(tlr.diagonal[r])
+        wr = w[r0:r1]
+        s = solve_triangular(diag, wr, lower=True, check_finite=False)
+        if sign < 0:
+            try:
+                e = np.linalg.cholesky(ik - s.T @ s)
+            except np.linalg.LinAlgError:
+                raise DowndateError(
+                    "rank-%d downdate is not positive definite (block %d)" % (k, r)
+                ) from None
+            cm = np.linalg.cholesky(np.eye(r1 - r0) - s @ s.T)
+        else:
+            e = np.linalg.cholesky(ik + s.T @ s)
+            cm = np.linalg.cholesky(np.eye(r1 - r0) + s @ s.T)
+        tlr.diagonal[r] = np.tril(diag @ cm)
+        # v' columns live in C^{-1}-transformed coordinates, shared by every
+        # tile in this block column
+        cinv_s = solve_triangular(cm, s, lower=True, check_finite=False)
+        for i in range(r + 1, nt):
+            i0, i1 = ranges[i]
+            wi = w[i0:i1]
+            tile = tlr.offdiag.get((i, r))
+            if tile is None:
+                u_old = np.zeros((i1 - i0, 0))
+                v_old = np.zeros((r1 - r0, 0))
+            else:
+                u_old, v_old = tile.u, tile.v
+            # refreshed tile first (it needs the *pre-update* rows of W, and
+            # ``wi`` is a view into ``w``): X' = X C^{-T} ± W S^T C^{-T}
+            new_u = np.hstack([u_old, wi])
+            new_v = np.hstack(
+                [solve_triangular(cm, v_old, lower=True, check_finite=False),
+                 sign * cinv_s]
+            )
+            refreshed = recompress(
+                LowRankTile(new_u, new_v), tlr.accuracy, tlr.max_rank
+            )
+            # next block column's update rows: W' = (W - X S) E^{-T}
+            xs = u_old @ (v_old.T @ s)
+            w[i0:i1] = solve_triangular(e, (wi - xs).T, lower=True, check_finite=False).T
+            tlr.offdiag[(i, r)] = refreshed
+    return tlr
+
+
+def update_factor(factor: CholeskyFactor, u, downdate: bool = False) -> CholeskyFactor:
+    """Return a *new* factor of ``Sigma ± U U^T`` from a factor of ``Sigma``.
+
+    The input factor is never modified (the update runs on a deep copy), so
+    a failed downdate leaves the parent — and every cache entry pointing at
+    it — intact.
+    """
+    if isinstance(factor, DenseTileFactor):
+        tiles = factor.tiles.copy()
+        rank_update_dense(tiles, u, downdate=downdate)
+        return DenseTileFactor(tiles)
+    if isinstance(factor, TLRFactor):
+        tlr = factor.tlr.copy()
+        rank_update_tlr(tlr, u, downdate=downdate)
+        return TLRFactor(tlr)
+    raise TypeError(
+        f"update_factor supports dense-tile and TLR factors, got {type(factor).__name__}"
+    )

@@ -17,6 +17,10 @@ kernel rates onto modelled architectures and cluster sizes:
 from repro.perf.machines import MachineSpec, MACHINES, get_machine
 from repro.perf.calibration import CalibrationResult, calibrate
 from repro.perf.hotpath import run_hotpath_benchmark, hotpath_workload
+from repro.perf.online_updates import (
+    run_online_update_benchmark,
+    online_update_scenarios,
+)
 from repro.perf.planner import run_planner_benchmark, planner_scenarios
 from repro.perf.scheduler import run_scheduler_benchmark, scheduler_workload
 from repro.perf.serving import run_serving_benchmark, serving_workload
@@ -36,6 +40,8 @@ __all__ = [
     "calibrate",
     "run_hotpath_benchmark",
     "hotpath_workload",
+    "run_online_update_benchmark",
+    "online_update_scenarios",
     "run_planner_benchmark",
     "planner_scenarios",
     "run_scheduler_benchmark",

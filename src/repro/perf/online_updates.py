@@ -1,0 +1,166 @@
+"""Measured online-update benchmark (the rank-k up/down-date perf gate).
+
+:func:`run_online_update_benchmark` checks that :meth:`repro.solver.Model.update`
+earns its keep: answering a query against ``Sigma + U U^T`` through a rank-k
+Cholesky up-date of the warm parent factor must beat assembling the perturbed
+covariance and refactorizing it from scratch by at least
+:data:`UPDATE_SPEEDUP_GATE` x for every update rank up to 16 at ``n = 2048``
+— the regime the streaming excursion-monitor example lives in, where a
+sliding window perturbs a few columns of the covariance per step.
+
+Both paths end in the same QMC sweep with the same seed, so the benchmark
+also enforces the *correctness* half of the contract: the updated model's
+probability must match the from-scratch factorization to tight relative
+tolerance (the factors agree to ~1e-14 elementwise; the estimates differ by
+a few ulps at most).  Emits ``BENCH_online_updates.json`` at the repository
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "run_online_update_benchmark",
+    "online_update_scenarios",
+    "UPDATE_SPEEDUP_GATE",
+    "UPDATE_MATCH_RTOL",
+]
+
+#: acceptance threshold: (assemble + refactorize + query) vs (update + query)
+UPDATE_SPEEDUP_GATE = 5.0
+
+#: maximum relative disagreement between the updated-model estimate and the
+#: from-scratch estimate (same seed, same sweep — only the factor differs)
+UPDATE_MATCH_RTOL = 1e-9
+
+
+def _spatial_sigma(n: int, range_: float) -> np.ndarray:
+    from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+    side = int(np.ceil(np.sqrt(n)))
+    geom = Geometry.regular_grid(side, side)
+    return build_covariance(ExponentialKernel(1.0, range_), geom.locations[:n],
+                            nugget=1e-6)
+
+
+def online_update_scenarios(quick: bool = False) -> dict:
+    """The benchmark workload: one covariance, a sweep of update ranks.
+
+    ``quick=True`` shrinks the dimension for the tier-1 smoke run (the
+    plumbing and the correctness tolerance are exercised, timings are
+    noise, the speed gate is skipped).
+    """
+    if quick:
+        return {"n": 144, "tile_size": 48, "ranks": (1, 4), "n_samples": 64,
+                "range_": 0.1}
+    return {"n": 2048, "tile_size": 256, "ranks": (1, 8, 16), "n_samples": 64,
+            "range_": 0.1}
+
+
+def run_online_update_benchmark(
+    repeats: int = 3,
+    seed: int = 7,
+    quick: bool = False,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Run the update-vs-refactorize benchmark and return the record.
+
+    Parameters
+    ----------
+    repeats : int
+        Timed repetitions per (rank, path); minima are reported.  The
+        refactorize path runs first in every repeat so the update path
+        never benefits from warmer BLAS caches.
+    seed : int
+        Update-matrix and QMC seed (shared by both paths, so the estimates
+        are comparable to ulps).
+    quick : bool
+        Tiny dimension, speed gate skipped — the ``perf_smoke`` tier-1 mode.
+    json_path : path, optional
+        When given, the record is also written there as JSON.
+    """
+    from repro import MVNSolver, SolverConfig
+
+    workload = online_update_scenarios(quick=quick)
+    n = workload["n"]
+    n_samples = workload["n_samples"]
+    sigma = _spatial_sigma(n, workload["range_"])
+    rng = np.random.default_rng(seed)
+    a = np.full(n, -np.inf)
+    b = rng.uniform(0.5, 2.5, n)
+    config = SolverConfig(method="dense", n_samples=n_samples,
+                          tile_size=workload["tile_size"])
+
+    record: dict = {
+        "benchmark": "online_updates",
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform()},
+        "gate": {
+            "metric": "(assemble + refactorize + query) vs (update + query), "
+                      "per update rank",
+            "threshold": UPDATE_SPEEDUP_GATE,
+            "match_rtol": UPDATE_MATCH_RTOL,
+            "quick": quick,
+        },
+        "n": n,
+        "n_samples": n_samples,
+        "scenarios": {},
+    }
+
+    all_passed = True
+    with MVNSolver(config) as solver:
+        parent = solver.model(sigma)
+        parent.probability(a, b, rng=seed)  # warm the parent factor once
+
+        for rank in workload["ranks"]:
+            u = 0.1 * rng.standard_normal((n, rank))
+            refactor_times: list[float] = []
+            update_times: list[float] = []
+            p_refactor = p_update = None
+            for _ in range(repeats):
+                # baseline: what a caller without Model.update must do —
+                # assemble the perturbed covariance, factorize it cold,
+                # then run the same sweep
+                start = time.perf_counter()
+                sigma_child = sigma + u @ u.T
+                with MVNSolver(config) as cold:
+                    result = cold.model(sigma_child).probability(a, b, rng=seed)
+                refactor_times.append(time.perf_counter() - start)
+                p_refactor = result.probability
+
+                start = time.perf_counter()
+                child = parent.update(u)
+                result = child.probability(a, b, rng=seed)
+                update_times.append(time.perf_counter() - start)
+                p_update = result.probability
+
+            speedup = min(refactor_times) / min(update_times)
+            denom = max(abs(p_refactor), abs(p_update), 1e-300)
+            rel_diff = abs(p_refactor - p_update) / denom
+            matched = bool(rel_diff <= UPDATE_MATCH_RTOL)
+            passed = bool(matched and (quick or speedup >= UPDATE_SPEEDUP_GATE))
+            all_passed = all_passed and passed
+            record["scenarios"][f"rank_{rank}"] = {
+                "rank": rank,
+                "refactorize_seconds": min(refactor_times),
+                "update_seconds": min(update_times),
+                "speedup": speedup,
+                "probability_refactorize": p_refactor,
+                "probability_update": p_update,
+                "rel_diff": rel_diff,
+                "matched": matched,
+                "passed": passed,
+            }
+    record["gate"]["passed"] = all_passed
+
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

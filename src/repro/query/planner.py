@@ -274,6 +274,32 @@ class QueryPlanner:
             "accuracy": float(accuracy),
         }
 
+    def inherit_probe(self, probe: dict | None, rank: int, downdate: bool) -> dict | None:
+        """Decide whether a structure-probe record survives a rank-k update.
+
+        ``Sigma + U U^T`` can raise every off-diagonal block's rank by at
+        most ``rank``, so an update *inherits* the parent's probe with the
+        estimate bumped by ``rank`` — unless the bump crosses the
+        :attr:`max_rank_ratio` verdict boundary, in which case the record
+        is *invalidated* (``None``: a fresh probe would be needed to plan
+        against the child covariance from scratch).  A downdate can only
+        lower ranks, so it inherits the record unchanged (still a valid
+        upper bound).
+        """
+        if probe is None:
+            return None
+        if downdate:
+            return probe
+        bumped = int(probe["est_rank"]) + int(rank)
+        block = int(probe["block"])
+        new_ratio = bumped / float(block)
+        same_verdict = (new_ratio <= self.max_rank_ratio) == (
+            probe["rank_ratio"] <= self.max_rank_ratio
+        )
+        if not same_verdict:
+            return None
+        return {**probe, "est_rank": min(bumped, block), "rank_ratio": new_ratio}
+
     # -- cost model ------------------------------------------------------------------
     @staticmethod
     def _tile_size(n: int, configured: int | None) -> int:
@@ -327,13 +353,18 @@ class QueryPlanner:
         max_samples: int | None = None,
         bound_method: str | None = None,
         probe: dict | None = None,
+        n: int | None = None,
     ) -> QueryPlan:
         """Plan one query (or one homogeneous batch) against ``sigma``.
 
         Parameters
         ----------
-        sigma : array_like (n, n)
-            The covariance the query runs against.
+        sigma : array_like (n, n) or None
+            The covariance the query runs against.  May be ``None`` when
+            ``n`` is given and the plan will never need to probe — the
+            lazy-sigma path of updated models
+            (:meth:`repro.solver.Model.update`), whose covariance is only
+            assembled on demand.
         config : repro.solver.SolverConfig
             The session configuration (method, sampling defaults, backend).
         query : MVNQuery, optional
@@ -347,9 +378,16 @@ class QueryPlanner:
         probe : dict, optional
             A previously computed :meth:`probe_structure` record (models
             memoize it so repeated queries plan without re-probing).
+        n : int, optional
+            The problem dimension, required iff ``sigma`` is ``None``.
         """
-        sigma = np.asarray(sigma)
-        n = int(sigma.shape[0])
+        if sigma is None:
+            if n is None:
+                raise ValueError("plan() needs either sigma or n")
+            n = int(n)
+        else:
+            sigma = np.asarray(sigma)
+            n = int(sigma.shape[0])
         if query is not None:
             n_samples = query.n_samples if n_samples is None else n_samples
             one_sided_fraction = (
@@ -364,7 +402,8 @@ class QueryPlanner:
 
         tile = self._tile_size(n, config.tile_size)
         probe_record = probe
-        if auto and bound_method is None and n > self.dense_max_n and probe_record is None:
+        if (auto and bound_method is None and n > self.dense_max_n
+                and probe_record is None and sigma is not None):
             probe_record = self.probe_structure(sigma, config.accuracy)
         est_rank = probe_record["est_rank"] if probe_record else tile
         costs = self.cost_estimates(n, n_samples, tile, est_rank, one_sided)

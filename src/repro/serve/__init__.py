@@ -44,7 +44,12 @@ True
 0
 """
 
-from repro.serve.broker import QueryBroker, ServeError, ServeOverloadedError
+from repro.serve.broker import (
+    QueryBroker,
+    ServeError,
+    ServeOverloadedError,
+    SigmaUpdate,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.pool import ShardPool, shard_for_fingerprint
 from repro.serve.stats import ServeStats, ShardSnapshot
@@ -57,5 +62,6 @@ __all__ = [
     "ShardPool",
     "ServeError",
     "ServeOverloadedError",
+    "SigmaUpdate",
     "shard_for_fingerprint",
 ]

@@ -42,15 +42,65 @@ from concurrent.futures import Future, InvalidStateError
 import numpy as np
 
 from repro.batch.cache import FingerprintMemo
+from repro.core.update import lineage_fingerprint, normalize_update
 from repro.mvn.result import MVNResult
 from repro.query import MVNQuery, QueryPlanner
 from repro.serve.config import ServeConfig
-from repro.serve.pool import ModelRoster, ShardPool, shard_for_fingerprint
+from repro.serve.pool import ModelRoster, ShardPool, lineage_payload, shard_for_fingerprint
 from repro.serve.stats import ServeStats, ShardSnapshot
 from repro.solver.config import SolverConfig
 from repro.utils.validation import check_limits
 
-__all__ = ["QueryBroker", "ServeError", "ServeOverloadedError"]
+__all__ = ["QueryBroker", "ServeError", "ServeOverloadedError", "SigmaUpdate"]
+
+
+class SigmaUpdate:
+    """A covariance described as a rank-k update of another covariance.
+
+    Submitted in place of the ``sigma`` array
+    (``broker.submit(a, b, SigmaUpdate(parent, u), ...)``), this tells the
+    broker the query targets ``parent ± u u^T`` *and how it got there*.
+    The broker derives the child's fingerprint from the parent's
+    (:func:`repro.core.update.lineage_fingerprint`), routes the batch to
+    the shard already holding the parent factor, and ships only the
+    ``n x k`` update matrix — the shard up/down-dates its warm parent
+    model instead of factorizing the child covariance from scratch.  When
+    the parent is *not* resident (first contact, roster eviction, a dead
+    worker), the broker assembles the child covariance and falls back to
+    the ordinary cold ship + refactorization path.
+
+    ``parent`` may itself be a :class:`SigmaUpdate`, so sliding-window
+    streams can chain updates without ever materializing intermediate
+    covariances broker-side.
+    """
+
+    __slots__ = ("parent", "u", "downdate")
+
+    def __init__(self, parent, u, downdate: bool = False) -> None:
+        if isinstance(parent, SigmaUpdate):
+            self.parent = parent
+        else:
+            self.parent = np.ascontiguousarray(np.asarray(parent, dtype=np.float64))
+            if self.parent.ndim != 2 or self.parent.shape[0] != self.parent.shape[1]:
+                raise ValueError(
+                    f"parent sigma must be a square matrix, got shape {self.parent.shape}"
+                )
+        self.u = normalize_update(u, self.n)
+        self.downdate = bool(downdate)
+
+    @property
+    def n(self) -> int:
+        """Dimension of the (chain of) covariance(s)."""
+        parent = self.parent
+        while isinstance(parent, SigmaUpdate):
+            parent = parent.parent
+        return int(parent.shape[0])
+
+    def assemble(self) -> np.ndarray:
+        """Materialize the child covariance (the cold-fallback path)."""
+        base = self.parent.assemble() if isinstance(self.parent, SigmaUpdate) else self.parent
+        sign = -1.0 if self.downdate else 1.0
+        return base + sign * (self.u @ self.u.T)
 
 #: dispatcher-queue sentinel: flush everything, stop the shards, exit
 _CLOSE = object()
@@ -226,7 +276,7 @@ class QueryBroker:
         self._closed = False
         self._batch_ids = itertools.count()
         # batch_id -> (requests, shard_id, dispatched_at)
-        self._inflight: dict[int, tuple[list[_Request], int, float]] = {}
+        self._inflight: dict[int, tuple[list[_Request], int, float, dict | None]] = {}
         self._stats = ServeStats(max_batch=config.max_batch)
         self._stats.shards = [ShardSnapshot(shard=i) for i in range(config.n_shards)]
 
@@ -328,10 +378,14 @@ class QueryBroker:
                 f"{type(rng).__name__} (generator objects cannot be shared "
                 "with a shard without changing the stream)"
             )
-        sigma_arr = np.ascontiguousarray(np.asarray(sigma, dtype=np.float64))
-        if sigma_arr.ndim != 2 or sigma_arr.shape[0] != sigma_arr.shape[1]:
-            raise ValueError(f"sigma must be a square matrix, got shape {sigma_arr.shape}")
-        n = sigma_arr.shape[0]
+        if isinstance(sigma, SigmaUpdate):
+            sigma_arr = sigma  # the dispatcher resolves lineage at flush time
+            n = sigma.n
+        else:
+            sigma_arr = np.ascontiguousarray(np.asarray(sigma, dtype=np.float64))
+            if sigma_arr.ndim != 2 or sigma_arr.shape[0] != sigma_arr.shape[1]:
+                raise ValueError(f"sigma must be a square matrix, got shape {sigma_arr.shape}")
+            n = sigma_arr.shape[0]
         a_vec, b_vec = check_limits(query.a, query.b, n)
         # query.mean is already validated/normalized by MVNQuery (None,
         # float, or a length-n vector — the length matches because the
@@ -345,13 +399,20 @@ class QueryBroker:
         else:
             mean_vec = mean
 
-        fingerprint = self._fingerprints.fingerprint(sigma_arr)
+        if isinstance(sigma_arr, SigmaUpdate):
+            fingerprint, _parent_fp, root_fp = self._update_fingerprints(sigma_arr)
+            planning_sigma = self._update_root(sigma_arr)
+        else:
+            fingerprint = self._fingerprints.fingerprint(sigma_arr)
+            planning_sigma = sigma_arr
         resolved_samples = (
             self.solver_config.n_samples if query.n_samples is None else query.n_samples
         )
         # the planner's (method, backend) decision joins the batch key, so
         # requests only share a sweep when they will execute the same plan
-        planned = self._plans.planned(fingerprint, sigma_arr, resolved_samples)
+        # (an updated covariance plans from its root ancestor: same n, and
+        # a rank-k perturbation does not move the dense/TLR verdict)
+        planned = self._plans.planned(fingerprint, planning_sigma, resolved_samples)
         key = (
             fingerprint,
             resolved_samples,
@@ -490,6 +551,10 @@ class QueryBroker:
                 sigma_skips=self._stats.sigma_skips,
                 sigma_bytes=self._stats.sigma_bytes,
                 preloads=self._stats.preloads,
+                lineage_routes=self._stats.lineage_routes,
+                lineage_fallbacks=self._stats.lineage_fallbacks,
+                update_sends=self._stats.update_sends,
+                update_bytes=self._stats.update_bytes,
                 shards=[ShardSnapshot(**vars(s)) for s in self._stats.shards],
             )
         return snapshot
@@ -553,8 +618,14 @@ class QueryBroker:
         """Dispatch one micro-batch to the shard owning its fingerprint."""
         fingerprint, n_samples, qmc, seed, _planned, target_error, max_samples = key
         requests = bucket.requests
-        shard_id = self._pool.route(fingerprint)
-        sigma = self._sigma_payload(shard_id, fingerprint, requests[0].sigma)
+        sigma_src = requests[0].sigma
+        if isinstance(sigma_src, SigmaUpdate):
+            shard_id = self._route_update(fingerprint, sigma_src)
+            sigma, lineage = self._update_payload(shard_id, fingerprint, sigma_src)
+        else:
+            shard_id = self._pool.route(fingerprint)
+            sigma = self._sigma_payload(shard_id, fingerprint, sigma_src)
+            lineage = None
         boxes = [(request.a, request.b) for request in requests]
         if all(request.mean is None for request in requests):
             means = None
@@ -565,7 +636,8 @@ class QueryBroker:
             ])
         batch_id = next(self._batch_ids)
         with self._state_lock:
-            self._inflight[batch_id] = (requests, shard_id, time.perf_counter())
+            self._inflight[batch_id] = (requests, shard_id, time.perf_counter(),
+                                        lineage)
             self._stats.batches += 1
         self._pool.send(
             shard_id,
@@ -604,6 +676,80 @@ class QueryBroker:
             self._stats.sigma_sends += 1
             self._stats.sigma_bytes += shipped_bytes
         return payload
+
+    # -- lineage (rank-k updated models) ----------------------------------------------
+    @staticmethod
+    def _update_root(update: "SigmaUpdate") -> np.ndarray:
+        """The root covariance an update chain hangs off (a plain ndarray)."""
+        parent = update.parent
+        while isinstance(parent, SigmaUpdate):
+            parent = parent.parent
+        return parent
+
+    def _update_fingerprints(self, update: "SigmaUpdate") -> tuple[str, str, str]:
+        """``(child, parent, root)`` fingerprints of an update chain.
+
+        The child fingerprint is *derived* from the parent's via
+        :func:`repro.core.update.lineage_fingerprint`, never by hashing an
+        assembled child covariance — matching what ``Model.update`` stamps
+        on the worker side, so warm routing and residency checks agree.
+        """
+        if isinstance(update.parent, SigmaUpdate):
+            parent_fp, _, root_fp = self._update_fingerprints(update.parent)
+        else:
+            parent_fp = self._fingerprints.fingerprint(update.parent)
+            root_fp = parent_fp
+        child_fp = lineage_fingerprint(parent_fp, update.u, update.downdate)
+        return child_fp, parent_fp, root_fp
+
+    def _route_update(self, fingerprint: str, update: "SigmaUpdate") -> int:
+        """Updated models follow their root ancestor's shard.
+
+        Routing by the *root* fingerprint colocates a whole update chain
+        with the factor it descends from, so every step ships only the
+        rank-k payload.  If that shard has died, fall back to the child's
+        own hash route — the batch lands cold and refactorizes from the
+        assembled covariance instead of wedging on a dead slot.
+        """
+        _, _, root_fp = self._update_fingerprints(update)
+        home = self._pool.route(root_fp)
+        with self._state_lock:
+            dead = home in self._dead_shards
+        if dead:
+            return self._pool.route(fingerprint)
+        return home
+
+    def _update_payload(self, shard_id: int, fingerprint: str,
+                        update: "SigmaUpdate"):
+        """``(payload, lineage-details)`` for a batch targeting an updated model.
+
+        Warm path: the parent factor is resident at ``shard_id``, so the
+        batch carries only ``("lineage", parent_fp, U, downdate)`` — the
+        shard applies the rank-k up/down-date in place of a factorization.
+        Cold path: the parent is not resident (first contact after a shard
+        death or roster eviction), so the child covariance is assembled
+        here and shipped like any other Sigma.
+        """
+        _, parent_fp, _ = self._update_fingerprints(update)
+        with self._roster_lock:
+            roster = self._rosters[shard_id]
+            if roster.get(fingerprint) is not None:
+                with self._state_lock:
+                    self._stats.sigma_skips += 1
+                return None, {"parent": parent_fp, "warm": True}
+            if roster.get(parent_fp) is not None:
+                roster.insert(fingerprint, True)
+                with self._state_lock:
+                    self._stats.lineage_routes += 1
+                    self._stats.update_sends += 1
+                    self._stats.update_bytes += update.u.nbytes
+                return (lineage_payload(parent_fp, update.u, update.downdate),
+                        {"parent": parent_fp, "warm": True})
+        with self._state_lock:
+            self._stats.lineage_fallbacks += 1
+        sigma = np.ascontiguousarray(update.assemble())
+        payload = self._sigma_payload(shard_id, fingerprint, sigma)
+        return payload, {"parent": parent_fp, "warm": False}
 
     # -- resizing --------------------------------------------------------------------
     def _apply_resize(self, request: _Resize) -> None:
@@ -729,7 +875,7 @@ class QueryBroker:
                         if self._shard_is_current(shard):
                             self._apply_shard_stats(shard_stats)
                         continue
-                    requests, _, dispatched_at = entry
+                    requests, _, dispatched_at, lineage = entry
                     if self._shard_is_current(shard):
                         self._apply_shard_stats(shard_stats)
                     self._stats.completed += len(requests)
@@ -746,6 +892,11 @@ class QueryBroker:
                         # sweep when the solver config allows it)
                         "fusion": result.details.get("fusion"),
                     }
+                    if lineage is not None:
+                        # how the updated model reached this shard: warm
+                        # rank-k payload on the parent's shard, or a cold
+                        # assemble+refactorize fallback
+                        result.details["serve"]["lineage"] = dict(lineage)
                     self._resolve(request.future, result=result)
             else:  # "error"
                 _, batch_id, detail = message
@@ -753,7 +904,7 @@ class QueryBroker:
                     entry = self._inflight.pop(batch_id, None)
                     if entry is None:
                         continue  # already failed by the liveness check
-                    requests, _, _ = entry
+                    requests = entry[0]
                     self._stats.failed += len(requests)
                     self._stats.queue_depth -= len(requests)
                 error = ServeError(f"shard {shard_id} failed the batch: {detail}")
@@ -763,14 +914,14 @@ class QueryBroker:
     def _fail_shard_inflight(self, shard_id: int, detail: str) -> None:
         """Reject every in-flight batch assigned to a (dead) shard."""
         with self._state_lock:
-            doomed = [batch_id for batch_id, (_, owner, _) in self._inflight.items()
-                      if owner == shard_id]
+            doomed = [batch_id for batch_id, entry in self._inflight.items()
+                      if entry[1] == shard_id]
             batches = [self._inflight.pop(batch_id) for batch_id in doomed]
-            count = sum(len(requests) for requests, _, _ in batches)
+            count = sum(len(requests) for requests, *_ in batches)
             self._stats.failed += count
             self._stats.queue_depth -= count
         error = ServeError(f"shard {shard_id} failed the batch: {detail}")
-        for requests, _, _ in batches:
+        for requests, *_ in batches:
             for request in requests:
                 self._resolve(request.future, error=error)
 

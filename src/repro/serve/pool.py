@@ -48,7 +48,25 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["ModelRoster", "ShardPool", "shard_for_fingerprint", "shard_serve_loop"]
+__all__ = ["ModelRoster", "ShardPool", "is_lineage_payload", "lineage_payload",
+           "shard_for_fingerprint", "shard_serve_loop"]
+
+
+def lineage_payload(parent_fingerprint: str, u: np.ndarray, downdate: bool) -> tuple:
+    """The rank-k update payload that rides in a batch message's sigma slot.
+
+    The warm lineage path of online updates: instead of the full ``n x n``
+    child covariance, the broker ships the parent's fingerprint plus the
+    ``n x k`` update matrix, and the shard up/down-dates its already-warm
+    parent factor (``O(n^2 k)`` work, ``n*k`` doubles on the wire).
+    """
+    return ("lineage", str(parent_fingerprint),
+            np.ascontiguousarray(np.asarray(u, dtype=np.float64)), bool(downdate))
+
+
+def is_lineage_payload(obj) -> bool:
+    """Whether a batch message's sigma slot carries a rank-k update payload."""
+    return isinstance(obj, tuple) and len(obj) == 4 and obj[0] == "lineage"
 
 
 class ModelRoster:
@@ -132,9 +150,11 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
 
     The ``sigma`` slot of a batch message is either an ndarray (inline
     transport), a shared-memory descriptor tuple (the worker attaches the
-    segment and builds the model zero-copy on the shared buffer), or
-    ``None`` when the model is already resident — the roster mirror's
-    fast path means a resident fingerprint is *never* re-shipped.
+    segment and builds the model zero-copy on the shared buffer), a
+    :func:`lineage_payload` tuple (rank-k up/down-date of the resident
+    parent model — online updates' warm path), or ``None`` when the model
+    is already resident — the roster mirror's fast path means a resident
+    fingerprint is *never* re-shipped.
     """
     # imported here so a spawned process pays its import cost in the worker
     from repro.serve.net.transport import (
@@ -155,6 +175,7 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
     batches = 0
     requests = 0
     redundant_sigmas = 0
+    updates = 0
 
     def stats() -> dict:
         cache = solver.cache
@@ -167,10 +188,11 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
             "cache_hits": cache.hits if cache else 0,
             "cache_misses": cache.misses if cache else 0,
             "redundant_sigmas": redundant_sigmas,
+            "updates": updates,
         }
 
     def resident_model(fingerprint, sigma):
-        nonlocal redundant_sigmas
+        nonlocal redundant_sigmas, updates
         model = models.get(fingerprint)
         if model is not None:
             if sigma is not None:
@@ -184,6 +206,21 @@ def shard_serve_loop(shard_id, solver_config, n_workers, policy, cache_entries,
                 f"shard {shard_id} received fingerprint {fingerprint[:12]}... "
                 "without its covariance (routing bug)"
             )
+        if is_lineage_payload(sigma):
+            # warm online update: rank-k up/down-date of the resident parent
+            # factor instead of a from-scratch factorization of the child
+            _, parent_fp, u, downdate = sigma
+            parent = models.get(parent_fp)
+            if parent is None:
+                raise RuntimeError(
+                    f"shard {shard_id} received a rank-{np.asarray(u).shape[1]} "
+                    f"update for parent {str(parent_fp)[:12]}... but the parent "
+                    "model is not resident (routing bug)"
+                )
+            model = parent.update(u, downdate=downdate)
+            updates += 1
+            models.insert(fingerprint, model)
+            return model
         if is_shm_descriptor(sigma):
             sigma_arr, segment = attach_descriptor(sigma)
             segments.adopt(fingerprint, segment)

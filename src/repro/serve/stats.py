@@ -37,6 +37,10 @@ class ShardSnapshot:
         Covariances the shard received while already holding the
         fingerprint.  Always ``0`` when the broker's roster mirror is
         working — a non-zero value is the duplicate-send bug surfacing.
+    updates : int
+        Rank-k up/down-dates the shard applied to a warm parent factor
+        instead of factorizing the child covariance from scratch (the
+        lineage warm path of ``Model.update``).
     """
 
     shard: int
@@ -47,6 +51,7 @@ class ShardSnapshot:
     cache_hits: int = 0
     cache_misses: int = 0
     redundant_sigmas: int = 0
+    updates: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +92,18 @@ class ServeStats:
         extra shards attach the same segment for free).
     preloads : int
         Warm-start shipments to freshly added shards (autoscaling).
+    lineage_routes : int
+        Batches for an updated model routed to the shard already holding
+        the parent factor, shipping only the rank-k update payload.
+    lineage_fallbacks : int
+        Batches for an updated model that had to assemble and ship the
+        full child covariance instead (parent not resident — e.g. its
+        shard died or the roster evicted it).
+    update_sends : int
+        Rank-k update payloads shipped to shards.
+    update_bytes : int
+        Total update-matrix bytes shipped — compare with ``sigma_bytes``
+        to see what the lineage path saves (``n*k`` vs ``n*n`` doubles).
     shards : list of ShardSnapshot
         Per-shard execution counters, in shard order.
     """
@@ -103,6 +120,10 @@ class ServeStats:
     sigma_skips: int = 0
     sigma_bytes: int = 0
     preloads: int = 0
+    lineage_routes: int = 0
+    lineage_fallbacks: int = 0
+    update_sends: int = 0
+    update_bytes: int = 0
     shards: list[ShardSnapshot] = field(default_factory=list)
 
     @property
@@ -134,6 +155,10 @@ class ServeStats:
             "sigma_skips": self.sigma_skips,
             "sigma_bytes": self.sigma_bytes,
             "preloads": self.preloads,
+            "lineage_routes": self.lineage_routes,
+            "lineage_fallbacks": self.lineage_fallbacks,
+            "update_sends": self.update_sends,
+            "update_bytes": self.update_bytes,
             "mean_batch_size": self.mean_batch_size,
             "batch_fill_ratio": self.batch_fill_ratio,
             "shards": [
@@ -146,6 +171,7 @@ class ServeStats:
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
                     "redundant_sigmas": s.redundant_sigmas,
+                    "updates": s.updates,
                     "hit_rate": s.hit_rate,
                 }
                 for s in self.shards
@@ -167,13 +193,16 @@ class ServeStats:
             for name in ("submitted", "completed", "failed", "rejected",
                          "batches", "queue_depth", "max_queue_depth")
         }
-        for name in ("sigma_sends", "sigma_skips", "sigma_bytes", "preloads"):
+        for name in ("sigma_sends", "sigma_skips", "sigma_bytes", "preloads",
+                     "lineage_routes", "lineage_fallbacks",
+                     "update_sends", "update_bytes"):
             counters[name] = payload.get(name, 0)
         shard_fields = ("shard", "batches", "requests", "models",
                         "factorize_count", "cache_hits", "cache_misses")
         shards = [
             ShardSnapshot(
                 redundant_sigmas=entry.get("redundant_sigmas", 0),
+                updates=entry.get("updates", 0),
                 **{name: entry[name] for name in shard_fields},
             )
             for entry in payload.get("shards", [])
@@ -191,11 +220,14 @@ class ServeStats:
             f"max_queue_depth={self.max_queue_depth}",
             f"sigma_sends={self.sigma_sends} sigma_skips={self.sigma_skips} "
             f"sigma_bytes={self.sigma_bytes} preloads={self.preloads}",
+            f"lineage_routes={self.lineage_routes} "
+            f"lineage_fallbacks={self.lineage_fallbacks} "
+            f"update_sends={self.update_sends} update_bytes={self.update_bytes}",
         ]
         for s in self.shards:
             lines.append(
                 f"shard {s.shard}: requests={s.requests} batches={s.batches} "
                 f"models={s.models} factorized={s.factorize_count} "
-                f"hit_rate={s.hit_rate:.2f}"
+                f"updates={s.updates} hit_rate={s.hit_rate:.2f}"
             )
         return "\n".join(lines)

@@ -38,11 +38,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.batch.batched import _baseline_loop, _batched_parallel, _stamp_batch_details
-from repro.batch.cache import FactorCache
+from repro.batch.cache import FactorCache, sigma_fingerprint
 from repro.core.crd import ConfidenceRegionResult, _confidence_region_impl
 from repro.core.factor import CholeskyFactor, TLRFactor, factorize
 from repro.core.methods import check_factor_args
 from repro.core.pmvn import SweepWorkspace, _resolve_means, pmvn_dense, pmvn_tlr
+from repro.core.update import FactorLineage, lineage_fingerprint, normalize_update, update_factor
 from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
 from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
@@ -215,7 +216,21 @@ class Model:
 
     def __init__(self, solver: MVNSolver, sigma, mean=0.0, factor: CholeskyFactor | None = None) -> None:
         self._solver = solver
-        self._sigma = np.asarray(sigma, dtype=np.float64)
+        # sigma may be None for models produced by :meth:`update`: the child
+        # covariance is derivable (``parent ± U U^T``) but never needed on
+        # the query fast path, so it is assembled lazily via ``_sigma_thunk``
+        self._sigma_arr: np.ndarray | None = (
+            None if sigma is None else np.asarray(sigma, dtype=np.float64)
+        )
+        self._sigma_thunk = None
+        if self._sigma_arr is not None:
+            self._n = int(self._sigma_arr.shape[0])
+        elif factor is not None:
+            self._n = int(factor.n)
+        else:
+            raise ValueError("Model needs a covariance matrix or a pre-computed factor")
+        self._fingerprint: str | None = None
+        self._lineage: FactorLineage | None = None
         self._mean = mean
         # one factor per resolved method: ``method="auto"`` may legitimately
         # answer different queries with different estimators against one model
@@ -244,8 +259,23 @@ class Model:
         return self._solver.config
 
     @property
+    def _sigma(self) -> np.ndarray:
+        """The covariance array, assembling an updated model's lazily.
+
+        Updated models answer factor-based queries without ever touching
+        this; only the covariance-level estimators (``mc``/``sov``), the
+        structure probe and :attr:`sigma` itself force assembly.
+        """
+        if self._sigma_arr is None:
+            if self._sigma_thunk is None:
+                raise RuntimeError("model has neither a covariance nor a way to assemble one")
+            self._sigma_arr = np.asarray(self._sigma_thunk(), dtype=np.float64)
+            self._sigma_thunk = None
+        return self._sigma_arr
+
+    @property
     def sigma(self) -> np.ndarray:
-        """The bound covariance matrix."""
+        """The bound covariance matrix (assembled on demand for updated models)."""
         return self._sigma
 
     @property
@@ -256,7 +286,30 @@ class Model:
     @property
     def n(self) -> int:
         """Dimensionality of the model."""
-        return self._sigma.shape[0]
+        return self._n
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the covariance (derived for updated models).
+
+        For a model built from a covariance array this is
+        :func:`repro.batch.sigma_fingerprint`; for a model produced by
+        :meth:`update` it is the *derived*
+        :func:`repro.core.update.lineage_fingerprint`, computed without
+        assembling the child covariance.
+        """
+        if self._fingerprint is None:
+            cache = self._solver.cache
+            if cache is not None:
+                self._fingerprint = cache._fingerprint(self._sigma)
+            else:
+                self._fingerprint = sigma_fingerprint(self._sigma)
+        return self._fingerprint
+
+    @property
+    def lineage(self) -> FactorLineage | None:
+        """Provenance of an updated model (``None`` for a root model)."""
+        return self._lineage
 
     @property
     def factor(self) -> CholeskyFactor | None:
@@ -288,8 +341,10 @@ class Model:
         if cfg.is_auto and self._probe is None and self._bound_method is None \
                 and self.n > self._planner.dense_max_n:
             self._probe = self._planner.probe_structure(self._sigma, cfg.accuracy)
+        # an updated model plans from its dimension alone — never assemble
+        # the child covariance just to read its shape
         return self._planner.plan(
-            self._sigma, cfg, query,
+            self._sigma_arr, cfg, query, n=self._n,
             bound_method=self._bound_method if cfg.is_auto else None,
             probe=self._probe, **overrides,
         )
@@ -330,6 +385,81 @@ class Model:
                 )
             self._factors[method] = factor
         return factor
+
+    # -- online updates ------------------------------------------------------------
+    def update(self, u, downdate: bool = False, *, mean=None, timings=None) -> "Model":
+        """Rank-k covariance update: a new model of ``Sigma ± U U^T``.
+
+        Performs a Cholesky up-date (``downdate=False``) or down-date
+        (``downdate=True``) of this model's factor — ``O(n^2 k)`` instead
+        of the ``O(n^3)`` refactorization a fresh
+        :meth:`MVNSolver.model` call would pay — and returns a *child*
+        model that answers queries immediately.  The child:
+
+        * never assembles its covariance on the query fast path (its
+          fingerprint is derived from the parent's, see
+          :func:`repro.core.update.lineage_fingerprint`);
+        * is registered in the solver's :class:`~repro.batch.FactorCache`
+          under the derived fingerprint, with the lineage recorded so the
+          serve broker can route it to the shard holding the parent;
+        * inherits (or invalidates) the parent's structure-probe record
+          per :meth:`repro.query.QueryPlanner.inherit_probe`;
+        * stamps ``details["lineage"]`` on every result.
+
+        Raises :class:`repro.core.update.DowndateError` when a downdate
+        would destroy positive definiteness; this model is left intact.
+
+        Parameters
+        ----------
+        u : array_like (n, k) or (n,)
+            The update matrix (a vector is a rank-1 update).
+        downdate : bool
+            Subtract ``U U^T`` instead of adding it.
+        mean : optional
+            Mean of the child model (defaults to this model's mean).
+        """
+        solver = self._solver
+        solver._check_open()
+        u = normalize_update(u, self.n)
+        cfg = solver.config
+        if self._bound_method is not None:
+            method = self._bound_method
+        elif cfg.is_auto:
+            method = self.plan().method
+        elif cfg.method in ("dense", "tlr"):
+            method = cfg.method
+        else:
+            raise ValueError(
+                f"Model.update requires a factor-based method ('dense' or "
+                f"'tlr'), not {cfg.method!r}"
+            )
+        parent_factor = self._ensure_factor(method, timings=timings)
+        child_factor = update_factor(parent_factor, u, downdate=downdate)
+
+        parent_fp = self.fingerprint
+        child_fp = lineage_fingerprint(parent_fp, u, downdate)
+        depth = 1 if self._lineage is None else self._lineage.depth + 1
+        lineage = FactorLineage(
+            parent_fingerprint=parent_fp, child_fingerprint=child_fp,
+            rank=int(u.shape[1]), downdate=bool(downdate), depth=depth,
+        )
+        cache = solver.cache
+        if cache is not None:
+            cache.register_factor(
+                child_fp, child_factor, method=method, tile_size=cfg.tile_size,
+                accuracy=cfg.accuracy, max_rank=cfg.max_rank,
+            )
+            cache.record_update(lineage)
+
+        child = Model(solver, None, mean=self._mean if mean is None else mean,
+                      factor=child_factor)
+        child._fingerprint = child_fp
+        child._lineage = lineage
+        child._probe = self._planner.inherit_probe(self._probe, u.shape[1], downdate)
+        sign = -1.0 if downdate else 1.0
+        parent = self
+        child._sigma_thunk = lambda: parent._sigma + sign * (u @ u.T)
+        return child
 
     # -- queries -------------------------------------------------------------------
     def probability(
@@ -398,6 +528,8 @@ class Model:
         result.details["plan"] = plan.as_details(
             rounds=rounds, samples_used=samples_used, target_met=target_met
         )
+        if self._lineage is not None:
+            result.details["lineage"] = self._lineage.as_details()
         return result
 
     def _evaluate(self, method, a, b, mean, n_samples, qmc, rng, backend, timings) -> MVNResult:
@@ -491,6 +623,8 @@ class Model:
             result.details["plan"] = plan.as_details(
                 rounds=rounds[idx], samples_used=samples_used[idx], target_met=met
             )
+            if self._lineage is not None:
+                result.details["lineage"] = self._lineage.as_details()
         return _stamp_batch_details(results)
 
     def _evaluate_batch(self, plan: QueryPlan, boxes, means, n_samples, qmc, rng, timings) -> list[MVNResult]:

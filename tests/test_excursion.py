@@ -11,7 +11,17 @@ from repro.excursion import (
     mc_validate_regions,
     region_overlap,
 )
+from repro.core.kernel_backend import available_backends
 from repro.kernels import ExponentialKernel, Geometry, build_covariance
+
+# parametrize the heavier estimator-driven cases over the accelerated sweep
+# backends, like the newer suites: numba rows skip (never silently fall back)
+# when the JIT is not installed
+BACKENDS = [
+    "numpy",
+    pytest.param("numba", marks=pytest.mark.skipif(
+        "numba" not in available_backends(), reason="numba not installed")),
+]
 
 
 @pytest.fixture
@@ -66,11 +76,13 @@ class TestMaps:
 
 
 class TestMCValidation:
-    def test_phat_at_least_level_up_to_mc_error(self, field_setup):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_phat_at_least_level_up_to_mc_error(self, field_setup, backend):
         """By construction P(region ⊆ exceedance set) >= 1-alpha; the MC check
         must therefore find p_hat >= level (minus Monte Carlo noise)."""
         geom, sigma, mean = field_setup
-        res = confidence_region(sigma, mean, 0.5, n_samples=6000, tile_size=10, rng=1)
+        res = confidence_region(sigma, mean, 0.5, n_samples=6000, tile_size=10,
+                                rng=1, backend=backend)
         val = mc_validate_regions(res, sigma, mean, n_samples=8000, rng=2)
         nonempty = [i for i, lvl in enumerate(val.levels) if res.region_size(1 - lvl) > 0]
         assert nonempty, "expected at least one non-empty region level"
@@ -106,12 +118,15 @@ class TestCompareConfidenceFunctions:
         assert cmp["max_pointwise_difference"] == 0.0
         assert np.all(cmp["region_size_difference"] == 0.0)
 
-    def test_dense_vs_tlr_small_difference(self, field_setup):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dense_vs_tlr_small_difference(self, field_setup, backend):
         """Figure 1/3 claim: dense vs TLR confidence functions differ by <~1e-3
         once the compression accuracy reaches 1e-3 or better."""
         geom, sigma, mean = field_setup
-        dense = confidence_region(sigma, mean, 0.5, method="dense", n_samples=4000, tile_size=10, rng=7)
-        tlr = confidence_region(sigma, mean, 0.5, method="tlr", accuracy=1e-4, n_samples=4000, tile_size=10, rng=7)
+        dense = confidence_region(sigma, mean, 0.5, method="dense", n_samples=4000,
+                                  tile_size=10, rng=7, backend=backend)
+        tlr = confidence_region(sigma, mean, 0.5, method="tlr", accuracy=1e-4,
+                                n_samples=4000, tile_size=10, rng=7, backend=backend)
         cmp = compare_confidence_functions(dense, tlr)
         assert cmp["max_pointwise_difference"] < 2e-3
 

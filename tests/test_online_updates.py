@@ -1,0 +1,390 @@
+"""Online covariance updates: rank-k Cholesky up/down-dates with lineage.
+
+The property harness of the online-updates PR.  The contract under test
+(see ``docs/updates.md``):
+
+* ``update_factor(F, U)`` matches ``cholesky(Sigma + U U^T)`` elementwise
+  (Cholesky factors are unique, so this pins the whole algebra),
+* ``downdate(update(F, U), U)`` round-trips to ``F``,
+* a chain of many random up/down-dates stays within drift bounds of a
+  from-scratch refactorization,
+* a downdate that would destroy positive definiteness raises the typed
+  :class:`repro.DowndateError` — never NaNs, never a corrupted factor,
+* an updated :class:`repro.solver.Model` answers **bit-identically**
+  across every entry point (``Model.probability``, ``probability_batch``,
+  the functional API with the updated factor, and :mod:`repro.serve`),
+  with consistent plan and lineage stamps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DowndateError,
+    FactorLineage,
+    MVNSolver,
+    SolverConfig,
+    lineage_fingerprint,
+    mvn_probability,
+    update_factor,
+)
+from repro.batch import FactorCache
+from repro.core.factor import factorize
+from repro.core.update import normalize_update
+
+_SLOW = settings(max_examples=20, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _spd(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+def _update_matrix(seed: int, n: int, k: int, scale: float = 1.0) -> np.ndarray:
+    rng = np.random.default_rng(seed + 1)
+    return scale * rng.standard_normal((n, k))
+
+
+class TestNormalizeAndFingerprint:
+    def test_vector_promotes_to_one_column(self):
+        u = normalize_update(np.arange(4.0), 4)
+        assert u.shape == (4, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            normalize_update(np.ones((3, 2)), 4)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            normalize_update(np.array([[1.0], [np.nan]]), 2)
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(ValueError, match="at least one row and one column"):
+            normalize_update(np.ones((4, 0)), 4)
+
+    def test_fingerprint_is_deterministic(self):
+        u = _update_matrix(0, 8, 2)
+        assert lineage_fingerprint("abc", u) == lineage_fingerprint("abc", u)
+
+    def test_fingerprint_depends_on_direction_parent_and_u(self):
+        u = _update_matrix(0, 8, 2)
+        base = lineage_fingerprint("abc", u)
+        assert base != lineage_fingerprint("abc", u, downdate=True)
+        assert base != lineage_fingerprint("abd", u)
+        assert base != lineage_fingerprint("abc", u + 1e-12)
+
+    def test_vector_and_column_fingerprint_identically(self):
+        u = np.arange(6.0)
+        assert lineage_fingerprint("p", u) == lineage_fingerprint("p", u[:, None])
+
+
+class TestDenseUpdateProperties:
+    """Elementwise properties of the dense rank-k kernel (Cholesky factors
+    are unique, so matching ``cholesky(Sigma + U U^T)`` pins everything)."""
+
+    @_SLOW
+    @given(st.integers(0, 400), st.integers(2, 40), st.integers(1, 6),
+           st.integers(1, 9))
+    def test_update_matches_refactorization(self, seed, n, k, tile_size):
+        sigma = _spd(seed, n)
+        u = _update_matrix(seed, n, min(k, n))
+        factor = factorize(sigma, "dense", tile_size=min(tile_size, n))
+        updated = update_factor(factor, u)
+        expected = np.linalg.cholesky(sigma + u @ u.T)
+        np.testing.assert_allclose(updated.to_dense(), expected,
+                                   atol=1e-9 * n, rtol=1e-9)
+
+    @_SLOW
+    @given(st.integers(0, 400), st.integers(2, 40), st.integers(1, 6),
+           st.integers(1, 9))
+    def test_downdate_roundtrips(self, seed, n, k, tile_size):
+        sigma = _spd(seed, n)
+        u = _update_matrix(seed, n, min(k, n))
+        factor = factorize(sigma, "dense", tile_size=min(tile_size, n))
+        roundtrip = update_factor(update_factor(factor, u), u, downdate=True)
+        np.testing.assert_allclose(roundtrip.to_dense(), factor.to_dense(),
+                                   atol=1e-8 * n, rtol=1e-8)
+
+    @_SLOW
+    @given(st.integers(0, 200), st.integers(4, 24),
+           st.lists(st.tuples(st.integers(0, 10_000), st.integers(1, 4),
+                              st.booleans()),
+                    min_size=8, max_size=14))
+    def test_chain_stays_within_drift_bounds(self, seed, n, ops):
+        """>= 8 chained up/down-dates track a from-scratch refactorization.
+
+        Downdates use small-norm matrices (``||U||_F^2 < n``) so positive
+        definiteness is guaranteed throughout: ``Sigma`` is built with a
+        ``n * I`` ridge and every running iterate keeps ``min eig >= n/2``.
+        """
+        sigma = _spd(seed, n)
+        factor = factorize(sigma, "dense", tile_size=max(2, n // 3))
+        running = sigma.copy()
+        for op_seed, k, downdate in ops:
+            scale = 0.1 / np.sqrt(k) if downdate else 1.0
+            u = _update_matrix(op_seed, n, k, scale=scale)
+            sign = -1.0 if downdate else 1.0
+            running = running + sign * (u @ u.T)
+            factor = update_factor(factor, u, downdate=downdate)
+        expected = np.linalg.cholesky(running)
+        np.testing.assert_allclose(factor.to_dense(), expected,
+                                   atol=1e-7 * n, rtol=1e-7)
+
+    @_SLOW
+    @given(st.integers(0, 200), st.integers(2, 24), st.floats(1.0001, 10.0))
+    def test_pd_breaking_downdate_raises_typed_error(self, seed, n, alpha):
+        """``Sigma - alpha^2 L e_1 (L e_1)^T`` loses PD for any alpha > 1:
+        the kernel must raise DowndateError, not emit NaNs."""
+        sigma = _spd(seed, n)
+        chol = np.linalg.cholesky(sigma)
+        u = alpha * chol[:, 0]
+        factor = factorize(sigma, "dense", tile_size=max(2, n // 3))
+        before = factor.to_dense()
+        with pytest.raises(DowndateError):
+            update_factor(factor, u, downdate=True)
+        # the input factor is untouched (updates operate on a copy)
+        assert np.isfinite(factor.to_dense()).all()
+        np.testing.assert_array_equal(factor.to_dense(), before)
+
+
+class TestTLRUpdate:
+    """The low-rank block-refresh path (tight accuracy pins it to dense)."""
+
+    def test_update_matches_refactorization_tightly(self):
+        n, k = 48, 3
+        sigma = _spd(5, n)
+        u = _update_matrix(5, n, k)
+        factor = factorize(sigma, "tlr", tile_size=12, accuracy=1e-12)
+        updated = update_factor(factor, u)
+        expected = np.linalg.cholesky(sigma + u @ u.T)
+        np.testing.assert_allclose(updated.to_dense(), expected, atol=1e-8 * n)
+
+    def test_downdate_roundtrips(self):
+        n, k = 40, 2
+        sigma = _spd(6, n)
+        u = _update_matrix(6, n, k)
+        factor = factorize(sigma, "tlr", tile_size=10, accuracy=1e-12)
+        roundtrip = update_factor(update_factor(factor, u), u, downdate=True)
+        np.testing.assert_allclose(roundtrip.to_dense(), factor.to_dense(),
+                                   atol=1e-7 * n)
+
+    def test_rank_growth_is_bounded_by_recompression(self):
+        n, k = 60, 4
+        rng = np.random.default_rng(7)
+        # a smooth (compressible) covariance, so TLR ranks are genuinely low
+        idx = np.arange(n, dtype=np.float64)
+        sigma = np.exp(-np.abs(idx[:, None] - idx[None, :]) / 25.0) + 1e-6 * np.eye(n)
+        u = 0.05 * rng.standard_normal((n, k))
+        factor = factorize(sigma, "tlr", tile_size=15, accuracy=1e-6)
+        before = sum(t.rank for t in factor.tlr.offdiag.values())
+        n_tiles = len(factor.tlr.offdiag)
+        updated = update_factor(factor, u)
+        after = sum(t.rank for t in updated.tlr.offdiag.values())
+        # growth is bounded by +k per tile even for an incompressible update
+        assert after - before <= n_tiles * k
+        expected = np.linalg.cholesky(sigma + u @ u.T)
+        product = updated.to_dense() @ updated.to_dense().T
+        np.testing.assert_allclose(product, expected @ expected.T, atol=1e-4)
+        # ... and recompression reclaims rank the accuracy does not need:
+        # an update far below the tolerance leaves the tile ranks unchanged
+        tiny = update_factor(factor, 1e-9 * u)
+        assert sum(t.rank for t in tiny.tlr.offdiag.values()) == before
+
+    def test_pd_breaking_downdate_raises(self):
+        n = 30
+        sigma = _spd(8, n)
+        chol = np.linalg.cholesky(sigma)
+        factor = factorize(sigma, "tlr", tile_size=10, accuracy=1e-12)
+        with pytest.raises(DowndateError):
+            update_factor(factor, 1.5 * chol[:, 0], downdate=True)
+
+    def test_unsupported_factor_type_rejected(self):
+        with pytest.raises(TypeError, match="factor"):
+            update_factor(object(), np.ones(4))
+
+
+class TestModelUpdateLineage:
+    """Model.update: lineage stamps, lazy covariance, cache accounting."""
+
+    def _solver(self, **overrides):
+        params = dict(method="dense", n_samples=400, tile_size=8)
+        params.update(overrides)
+        return MVNSolver(SolverConfig(**params))
+
+    def test_child_answers_without_assembling_sigma(self):
+        n = 24
+        sigma = _spd(10, n)
+        u = _update_matrix(10, n, 2)
+        with self._solver() as solver:
+            parent = solver.model(sigma)
+            child = parent.update(u)
+            # no covariance has been assembled for the child yet
+            assert child._sigma_arr is None
+            result = child.probability(np.full(n, -np.inf), np.ones(n), rng=0)
+            assert child._sigma_arr is None  # the query used only the factor
+            assert 0.0 < result.probability < 1.0
+            # forcing assembly produces exactly Sigma + U U^T
+            np.testing.assert_allclose(child.sigma, sigma + u @ u.T,
+                                       rtol=0, atol=1e-12)
+
+    def test_lineage_details_stamped_and_chained(self):
+        n = 16
+        sigma = _spd(11, n)
+        u = _update_matrix(11, n, 3)
+        with self._solver() as solver:
+            parent = solver.model(sigma)
+            child = parent.update(u)
+            grandchild = child.update(u, downdate=True)
+
+            expected_child_fp = lineage_fingerprint(parent.fingerprint, u)
+            assert child.fingerprint == expected_child_fp
+            assert grandchild.fingerprint == lineage_fingerprint(
+                expected_child_fp, u, downdate=True)
+
+            result = grandchild.probability(np.full(n, -np.inf), np.ones(n), rng=0)
+            lineage = result.details["lineage"]
+            assert lineage == {
+                "parent": expected_child_fp,
+                "fingerprint": grandchild.fingerprint,
+                "rank": 3,
+                "downdate": True,
+                "depth": 2,
+            }
+            # the parent result carries no lineage stamp
+            direct = parent.probability(np.full(n, -np.inf), np.ones(n), rng=0)
+            assert "lineage" not in direct.details
+
+    def test_cache_records_lineage_and_serves_children(self):
+        n = 16
+        sigma = _spd(12, n)
+        u = _update_matrix(12, n, 2)
+        cache = FactorCache(max_entries=4)
+        with MVNSolver(SolverConfig(method="dense", n_samples=200, tile_size=8),
+                       cache=cache) as solver:
+            parent = solver.model(sigma)
+            child = parent.update(u)
+            assert cache.update_count == 1
+            lineage = cache.lineage_of(child.fingerprint)
+            assert isinstance(lineage, FactorLineage)
+            assert lineage.parent_fingerprint == parent.fingerprint
+            assert lineage.rank == 2 and lineage.depth == 1
+            # the child factor is registered under its derived fingerprint
+            assert cache.get_cached(child.fingerprint, tile_size=8) is not None
+
+    def test_downdate_error_propagates_from_model(self):
+        n = 12
+        sigma = _spd(13, n)
+        chol = np.linalg.cholesky(sigma)
+        with self._solver() as solver:
+            parent = solver.model(sigma)
+            parent.factorize()
+            with pytest.raises(DowndateError):
+                parent.update(2.0 * chol[:, 0], downdate=True)
+            # the parent still answers after the failed downdate
+            result = parent.probability(np.full(n, -np.inf), np.ones(n), rng=0)
+            assert np.isfinite(result.probability)
+
+    def test_probe_inheritance_rules(self):
+        from repro.query import QueryPlanner
+
+        planner = QueryPlanner()  # max_rank_ratio = 0.45, so 42/96 is "tlr"
+        probe = {"block": 96, "est_rank": 10, "rank_ratio": 10 / 96.0,
+                 "accuracy": 1e-3}
+        # a downdate can only lower ranks: the record survives unchanged
+        assert planner.inherit_probe(probe, 4, True) == probe
+        # an update bumps the estimate by its rank (still the same verdict)
+        bumped = planner.inherit_probe(probe, 4, False)
+        assert bumped["est_rank"] == 14
+        assert bumped["rank_ratio"] == pytest.approx(14 / 96.0)
+        # a bump that crosses the method-verdict boundary invalidates it
+        near = {"block": 96, "est_rank": 42, "rank_ratio": 42 / 96.0,
+                "accuracy": 1e-3}
+        assert planner.inherit_probe(near, 8, False) is None
+        assert planner.inherit_probe(None, 4, False) is None
+
+    def test_update_inherits_probe_through_model(self):
+        n = 24
+        sigma = _spd(14, n)
+        u = _update_matrix(14, n, 2)
+        with self._solver(method="auto") as solver:
+            parent = solver.model(sigma)
+            # small models never probe; inject one to exercise the wiring
+            parent._probe = {"block": 96, "est_rank": 10,
+                            "rank_ratio": 10 / 96.0, "accuracy": 1e-3}
+            downdated = parent.update(0.01 * u, downdate=True)
+            assert downdated._probe == parent._probe
+            updated = parent.update(u)
+            assert updated._probe["est_rank"] == 12
+
+
+class TestCrossEntryParity:
+    """One updated model, four entry points, one bit pattern."""
+
+    N = 20
+    SAMPLES = 400
+
+    def _problem(self):
+        sigma = _spd(21, self.N)
+        u = _update_matrix(21, self.N, 3)
+        rng = np.random.default_rng(2)
+        a = np.full(self.N, -np.inf)
+        b = rng.uniform(0.5, 2.0, self.N)
+        return sigma, u, a, b
+
+    def test_entry_points_bit_identical(self):
+        sigma, u, a, b = self._problem()
+        config = SolverConfig(method="dense", n_samples=self.SAMPLES, tile_size=8)
+        with MVNSolver(config) as solver:
+            child = solver.model(sigma).update(u)
+            via_probability = child.probability(a, b, rng=0)
+            via_batch = child.probability_batch([(a, b)], rng=0)[0]
+            via_functional = mvn_probability(
+                a, b, sigma + u @ u.T, method="dense",
+                n_samples=self.SAMPLES, tile_size=8, rng=0,
+                factor=child.factor,
+            )
+
+        from repro.serve import QueryBroker, ServeConfig, SigmaUpdate
+
+        with QueryBroker(ServeConfig(n_shards=1, worker_mode="thread"),
+                         config) as broker:
+            broker.submit(a, b, sigma, rng=0).result(timeout=60)
+            via_serve = broker.submit(a, b, SigmaUpdate(sigma, u),
+                                      rng=0).result(timeout=60)
+
+        results = {
+            "probability": via_probability,
+            "batch": via_batch,
+            "functional": via_functional,
+            "serve": via_serve,
+        }
+        reference = via_probability
+        for name, result in results.items():
+            assert result.probability == reference.probability, name
+            assert result.error == reference.error, name
+            assert result.details["plan"]["method"] == "dense", name
+
+        # lineage stamps agree wherever the entry point knows the lineage
+        # (the functional call receives only the bare factor)
+        lineage = via_probability.details["lineage"]
+        assert via_batch.details["lineage"] == lineage
+        assert via_serve.details["lineage"] == lineage
+        assert via_serve.details["serve"]["lineage"]["warm"] is True
+
+    def test_updated_model_matches_refactorization_to_tolerance(self):
+        """Same sweep, same seed: only the factor differs (by ~1e-14), so
+        the estimates agree to a few ulps — but not necessarily bitwise."""
+        sigma, u, a, b = self._problem()
+        config = SolverConfig(method="dense", n_samples=self.SAMPLES, tile_size=8)
+        with MVNSolver(config) as solver:
+            updated = solver.model(sigma).update(u).probability(a, b, rng=0)
+            scratch = solver.model(sigma + u @ u.T).probability(a, b, rng=0)
+        np.testing.assert_allclose(updated.probability, scratch.probability,
+                                   rtol=1e-9)
+        np.testing.assert_allclose(updated.error, scratch.error, rtol=1e-6)

@@ -17,6 +17,7 @@ import pytest
 
 from repro.perf.distributed_serving import run_distributed_serving_benchmark
 from repro.perf.hotpath import run_hotpath_benchmark
+from repro.perf.online_updates import run_online_update_benchmark
 from repro.perf.planner import run_planner_benchmark
 from repro.perf.scheduler import run_scheduler_benchmark
 from repro.perf.serving import run_serving_benchmark
@@ -176,6 +177,26 @@ def test_planner_benchmark_smoke(tmp_path):
         assert data["bit_identical_to_chosen"]
         assert data["chosen_method"] in ("dense", "tlr")
         assert data["elapsed"]["auto"] > 0.0
+        assert data["passed"]
+    assert record["gate"]["passed"]
+
+
+def test_online_update_benchmark_smoke(tmp_path):
+    """Tiny update run: plumbing, correctness tolerance, JSON — no speed gate."""
+    json_path = tmp_path / "BENCH_online_updates.json"
+    record = run_online_update_benchmark(repeats=1, quick=True, json_path=json_path)
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "online_updates"
+    assert on_disk["gate"]["threshold"] == 5.0
+    assert set(record["scenarios"]) == {"rank_1", "rank_4"}
+    for data in record["scenarios"].values():
+        # the updated factor must match the from-scratch factorization even
+        # in quick mode — only the *speed* gate needs the full-size run
+        assert data["matched"]
+        assert data["rel_diff"] <= 1e-9
+        assert data["update_seconds"] > 0.0
         assert data["passed"]
     assert record["gate"]["passed"]
 

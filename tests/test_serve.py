@@ -533,6 +533,21 @@ class TestSigmaAccounting:
         finally:
             broker.close()
 
+    def test_stats_dict_roundtrip_preserves_lineage_counters(self):
+        from repro.serve.stats import ServeStats
+
+        stats = ServeStats(lineage_routes=3, lineage_fallbacks=1,
+                           update_sends=3, update_bytes=1536)
+        restored = ServeStats.from_dict(stats.as_dict())
+        assert restored.lineage_routes == 3
+        assert restored.lineage_fallbacks == 1
+        assert restored.update_sends == 3
+        assert restored.update_bytes == 1536
+        # legacy payloads without the counters read back as zero
+        legacy = {k: v for k, v in stats.as_dict().items()
+                  if not k.startswith(("lineage", "update"))}
+        assert ServeStats.from_dict(legacy).lineage_routes == 0
+
     def test_stats_dict_roundtrip_preserves_max_batch(self, thread_broker):
         sigma = _spd(4, seed=44)
         a, b = _boxes(4, 1)[0]
@@ -547,3 +562,178 @@ class TestSigmaAccounting:
         # legacy payloads without the field fall back to the keyword
         legacy = {k: v for k, v in stats.as_dict().items() if k != "max_batch"}
         assert ServeStats.from_dict(legacy, max_batch=5).max_batch == 5
+
+
+class TestLineageRouting:
+    """Updated models follow their parent's shard and ship only rank-k."""
+
+    def _lineage_broker(self, n_shards: int = 2, **config):
+        params = dict(n_shards=n_shards, worker_mode="thread",
+                      batch_window=0.0)
+        params.update(config)
+        return QueryBroker(ServeConfig(**params),
+                          SolverConfig(method="dense", n_samples=200))
+
+    def test_update_routes_to_parents_shard(self):
+        from repro.serve import SigmaUpdate
+
+        sigma = _spd(8, seed=50)
+        u = 0.1 * np.random.default_rng(51).standard_normal((8, 2))
+        a, b = _boxes(8, 1)[0]
+        broker = self._lineage_broker()
+        try:
+            parent = broker.submit(a, b, sigma, rng=0).result(timeout=60)
+            child = broker.submit(a, b, SigmaUpdate(sigma, u),
+                                  rng=0).result(timeout=60)
+            home = parent.details["serve"]["shard"]
+            assert child.details["serve"]["shard"] == home
+            assert child.details["serve"]["lineage"]["warm"] is True
+            assert child.details["serve"]["lineage"]["parent"] == \
+                sigma_fingerprint(sigma)
+            assert child.details["lineage"]["rank"] == 2
+            stats = broker.stats()
+            assert stats.lineage_routes == 1
+            assert stats.lineage_fallbacks == 0
+            # the up-date ran on the parent's shard, nowhere else
+            assert stats.shards[home].updates == 1
+            assert sum(s.updates for s in stats.shards) == 1
+        finally:
+            broker.close()
+
+    def test_ship_once_counts_rank_k_payload_not_sigma(self):
+        from repro.serve import SigmaUpdate
+
+        sigma = _spd(8, seed=52)
+        u = 0.1 * np.random.default_rng(53).standard_normal((8, 3))
+        a, b = _boxes(8, 1)[0]
+        broker = self._lineage_broker(n_shards=1)
+        try:
+            broker.submit(a, b, sigma, rng=0).result(timeout=60)
+            for seed in range(2):       # distinct seeds: no batch sharing
+                broker.submit(a, b, SigmaUpdate(sigma, u),
+                              rng=seed).result(timeout=60)
+            stats = broker.stats()
+            # the full covariance shipped exactly once (the parent); the
+            # update path moved only the n x k payload, and only once —
+            # the second submission found the child resident
+            assert stats.sigma_sends == 1
+            assert stats.sigma_bytes == sigma.nbytes
+            assert stats.update_sends == 1
+            assert stats.update_bytes == u.nbytes
+            assert stats.sigma_skips >= 1
+            assert all(s.redundant_sigmas == 0 for s in stats.shards)
+        finally:
+            broker.close()
+
+    def test_chain_colocates_on_the_root_shard(self):
+        from repro.serve import SigmaUpdate
+
+        sigma = _spd(8, seed=54)
+        rng = np.random.default_rng(55)
+        a, b = _boxes(8, 1)[0]
+        broker = self._lineage_broker()
+        try:
+            parent = broker.submit(a, b, sigma, rng=0).result(timeout=60)
+            home = parent.details["serve"]["shard"]
+            chain = None
+            for step in range(3):
+                u = 0.05 * rng.standard_normal((8, 1))
+                chain = SigmaUpdate(chain if chain is not None else sigma,
+                                    u, downdate=bool(step % 2))
+                result = broker.submit(a, b, chain, rng=0).result(timeout=60)
+                assert result.details["serve"]["shard"] == home
+                assert result.details["serve"]["lineage"]["warm"] is True
+                assert result.details["lineage"]["depth"] == step + 1
+            stats = broker.stats()
+            assert stats.lineage_routes == 3
+            assert stats.shards[home].updates == 3
+        finally:
+            broker.close()
+
+    def test_cold_fallback_when_parent_never_seen(self):
+        from repro.serve import SigmaUpdate
+
+        sigma = _spd(8, seed=56)
+        u = 0.1 * np.random.default_rng(57).standard_normal((8, 2))
+        a, b = _boxes(8, 1)[0]
+        broker = self._lineage_broker(n_shards=1)
+        try:
+            # the parent was never submitted: the broker must assemble the
+            # child covariance and ship it like any other Sigma
+            result = broker.submit(a, b, SigmaUpdate(sigma, u),
+                                   rng=0).result(timeout=60)
+            stats = broker.stats()
+            assert stats.lineage_fallbacks == 1
+            assert stats.lineage_routes == 0
+            assert result.details["serve"]["lineage"]["warm"] is False
+            # the cold path factorizes from scratch: bit-identical to a
+            # direct model of the assembled child covariance
+            with MVNSolver(SolverConfig(method="dense", n_samples=200)) as solver:
+                direct = solver.model(sigma + u @ u.T).probability(a, b, rng=0)
+            assert result.probability == direct.probability
+        finally:
+            broker.close()
+
+    def test_dead_parent_shard_fails_over_to_refactorization(self):
+        """Killing the shard that holds a lineage chain must not wedge
+        updated-model queries: they fail over to a cold refactorization on
+        the child's own hash route."""
+        from repro import lineage_fingerprint
+        from repro.serve import SigmaUpdate
+
+        n = 8
+        sigma = _spd(n, seed=58)
+        a, b = _boxes(n, 1)[0]
+        root_fp = sigma_fingerprint(sigma)
+        home = shard_for_fingerprint(root_fp, 2)
+        # pick an update whose *own* fingerprint routes to the other shard,
+        # so the failover lands somewhere alive deterministically
+        rng = np.random.default_rng(59)
+        for _ in range(64):
+            u = 0.1 * rng.standard_normal((n, 2))
+            child_fp = lineage_fingerprint(root_fp, u)
+            if shard_for_fingerprint(child_fp, 2) != home:
+                break
+        else:  # pragma: no cover - 2^-64
+            pytest.fail("no update matrix routed away from the root shard")
+
+        broker = QueryBroker(
+            ServeConfig(n_shards=2, worker_mode="process", batch_window=0.01),
+            SolverConfig(method="dense", n_samples=100),
+        )
+        try:
+            broker.submit(a, b, sigma, rng=0).result(timeout=120)
+            broker._pool.shards[home].worker.terminate()
+            broker._pool.shards[home].worker.join(10)
+            # wait for the collector's liveness check to declare the death
+            deadline = time.perf_counter() + 30
+            while home not in broker._dead_shards:
+                if time.perf_counter() > deadline:  # pragma: no cover
+                    pytest.fail("broker never noticed the dead shard")
+                time.sleep(0.1)
+            result = broker.submit(a, b, SigmaUpdate(sigma, u),
+                                   rng=0).result(timeout=120)
+            assert result.details["serve"]["shard"] != home
+            assert result.details["serve"]["lineage"]["warm"] is False
+            stats = broker.stats()
+            assert stats.lineage_fallbacks == 1
+            assert stats.lineage_routes == 0
+        finally:
+            broker.close(timeout=10)
+
+    def test_sigma_update_validation(self, thread_broker):
+        from repro.serve import SigmaUpdate
+
+        sigma = _spd(4, seed=60)
+        with pytest.raises(ValueError, match="square"):
+            SigmaUpdate(np.zeros((4, 3)), np.ones(4))
+        with pytest.raises(ValueError, match="rows"):
+            SigmaUpdate(sigma, np.ones((5, 1)))
+        with pytest.raises(ValueError, match="finite"):
+            SigmaUpdate(sigma, np.full(4, np.nan))
+        update = SigmaUpdate(sigma, np.ones(4), downdate=True)
+        assert update.n == 4
+        np.testing.assert_allclose(update.assemble(), sigma - np.ones((4, 4)))
+        nested = SigmaUpdate(update, 2.0 * np.ones(4))
+        np.testing.assert_allclose(nested.assemble(),
+                                   sigma - np.ones((4, 4)) + 4.0 * np.ones((4, 4)))

@@ -208,3 +208,118 @@ class TestPosterior:
             posterior_from_observations(sigma, observed, y, noise_std=0.0)
         with pytest.raises(ValueError):
             posterior_from_observations(sigma, np.array([0, 0]), y[:2])
+
+
+class TestPosteriorUpdatePath:
+    """Direct coverage of the seed-era posterior *update* path.
+
+    ``posterior_from_observations`` is the precision-form Gaussian update
+    (equations 7-8 of the paper); until now it was only exercised through the
+    Figure-1 integration pipeline.  These tests pin down the pieces that
+    pipeline never isolates: the non-zero prior-mean branch, sequential
+    (one-observation-at-a-time) consistency, and the identity tying the
+    posterior covariance to a chain of rank-1 Cholesky downdates — the bridge
+    the online-update machinery (:meth:`repro.solver.Model.update`) relies on.
+    """
+
+    def _setup(self, rng, n_side=5):
+        geom = Geometry.regular_grid(n_side, n_side)
+        kern = ExponentialKernel(1.0, 0.25)
+        sigma = build_covariance(kern, geom.locations, nugget=1e-8)
+        latent = sample_gaussian_field(kern, geom.locations, rng=rng)[:, 0]
+        observed = np.array([2, 7, 11, 18])
+        y = latent[observed] + 0.5 * rng.standard_normal(observed.size)
+        return sigma, observed, y
+
+    def test_scalar_prior_mean_shifts_posterior(self, rng):
+        """mu_post = mu + tau^-2 Sigma_post A^T (y - A mu) with mu != 0."""
+        sigma, observed, y = self._setup(rng)
+        n = sigma.shape[0]
+        shifted = posterior_from_observations(sigma, observed, y, noise_std=0.5,
+                                              prior_mean=1.7)
+        A = indicator_matrix(observed, n)
+        expected_cov = np.linalg.inv(np.linalg.inv(sigma) + (1 / 0.25) * A.T @ A)
+        mu = np.full(n, 1.7)
+        expected_mean = mu + (1 / 0.25) * expected_cov @ A.T @ (y - A @ mu)
+        np.testing.assert_allclose(shifted.mean, expected_mean, atol=1e-8)
+        # the covariance update never depends on the prior mean
+        base = posterior_from_observations(sigma, observed, y, noise_std=0.5)
+        np.testing.assert_allclose(shifted.covariance, base.covariance, atol=1e-12)
+
+    def test_vector_prior_mean_matches_scalar_broadcast(self, rng):
+        sigma, observed, y = self._setup(rng)
+        n = sigma.shape[0]
+        scalar = posterior_from_observations(sigma, observed, y, prior_mean=0.4)
+        vector = posterior_from_observations(sigma, observed, y,
+                                             prior_mean=np.full(n, 0.4))
+        np.testing.assert_array_equal(scalar.mean, vector.mean)
+        with pytest.raises(ValueError):
+            posterior_from_observations(sigma, observed, y,
+                                        prior_mean=np.zeros(n - 1))
+
+    def test_sequential_assimilation_matches_joint_update(self, rng):
+        """Conditioning one observation at a time equals the joint update.
+
+        Independent observation noise makes the Gaussian update associative:
+        feeding the step-k posterior (mean *and* covariance) back in as the
+        prior for observation k+1 must land on the same posterior as the
+        single joint call.  This is the property the streaming serve path
+        leans on and it was never asserted directly.
+        """
+        sigma, observed, y = self._setup(rng)
+        joint = posterior_from_observations(sigma, observed, y, noise_std=0.5)
+
+        mean_seq = np.zeros(sigma.shape[0])
+        cov_seq = sigma
+        for idx, obs in zip(observed, y):
+            step = posterior_from_observations(cov_seq, np.array([idx]),
+                                               np.array([obs]), noise_std=0.5,
+                                               prior_mean=mean_seq)
+            mean_seq, cov_seq = step.mean, step.covariance
+        np.testing.assert_allclose(cov_seq, joint.covariance, atol=1e-8)
+        np.testing.assert_allclose(mean_seq, joint.mean, atol=1e-8)
+
+    def test_posterior_covariance_is_a_rank_one_downdate_chain(self, rng):
+        """Sigma_post == Sigma - sum_k u_k u_k^T with the Kalman gain columns.
+
+        The exact identity that lets :meth:`repro.solver.Model.update` serve
+        posterior covariances without refactorizing: each single-location
+        observation is a rank-1 *downdate* by
+        ``u = Sigma[:, i] / sqrt(Sigma[i, i] + tau^2)``.
+        """
+        from repro.solver import MVNSolver, SolverConfig
+
+        sigma, observed, y = self._setup(rng)
+        joint = posterior_from_observations(sigma, observed, y, noise_std=0.5)
+
+        cov = sigma.copy()
+        us = []
+        for idx in observed:
+            u = cov[:, idx] / np.sqrt(cov[idx, idx] + 0.25)
+            us.append(u)
+            cov = cov - np.outer(u, u)
+        np.testing.assert_allclose(cov, joint.covariance, atol=1e-8)
+
+        # and the factor-level downdate chain agrees with a from-scratch
+        # factorization of the posterior covariance
+        config = SolverConfig(method="dense", n_samples=400, tile_size=8)
+        a = np.full(sigma.shape[0], -np.inf)
+        b = joint.mean + 0.5
+        with MVNSolver(config) as solver:
+            model = solver.model(sigma)
+            for u in us:
+                model = model.update(u, downdate=True)
+            chained = model.probability(a - joint.mean, b - joint.mean, rng=3)
+            fresh = solver.model(joint.covariance).probability(
+                a - joint.mean, b - joint.mean, rng=3)
+        assert abs(chained.probability - fresh.probability) <= 1e-9
+
+    def test_indicator_matrix_rejects_2d_indices(self):
+        with pytest.raises(ValueError):
+            indicator_matrix(np.array([[0, 1]]), 4)
+
+    def test_empty_observed_indices_rejected(self, rng):
+        sigma, _, _ = self._setup(rng)
+        with pytest.raises(ValueError):
+            posterior_from_observations(sigma, np.array([], dtype=int),
+                                        np.array([]))
