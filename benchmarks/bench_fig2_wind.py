@@ -14,7 +14,6 @@ family, threshold and confidence level.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import save_table, save_text
 from repro.core import confidence_region

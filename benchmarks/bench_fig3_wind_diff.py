@@ -8,7 +8,6 @@ probability levels (TLR accuracy 1e-4, max rank 145).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import save_table
 from repro.core import confidence_region

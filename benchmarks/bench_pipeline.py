@@ -1,0 +1,72 @@
+"""Pipeline gate — threshold-sweep excursion pipeline vs loop-of-queries.
+
+The acceptance gate of the QueryPipeline PR: running ``T`` thresholds of
+the joint positive/negative excursion analysis through **one**
+:func:`repro.excursion.excursion_threshold_sweep` pipeline (one solver
+session, one factor cache, validation and probing hoisted to the graph
+level) must beat the equivalent loop of transient
+:func:`repro.excursion.excursion_analysis` calls by at least **2x** at
+``n = 2000``, ``T = 8`` — with bit-identical per-threshold confidence
+functions and the factor-sharing evidence on record (2 factorizations for
+the pipeline vs ``2 T`` for the loop).
+
+Measurement protocol (see :mod:`repro.perf.pipeline`): the loop path runs
+first in every repeat, minima across repeats.
+
+Emits ``BENCH_pipeline.json`` at the repository root and a human-readable
+table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import save_table
+from repro.perf.pipeline import PIPELINE_SPEEDUP_GATE, run_pipeline_benchmark
+from repro.utils.reporting import Table
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+REPEATS = 3
+SEED = 0
+
+
+def test_pipeline(benchmark):
+    """One pipeline >= 2x a loop of transient analyses, identical results."""
+    record = benchmark.pedantic(
+        lambda: run_pipeline_benchmark(repeats=REPEATS, seed=SEED,
+                                       json_path=JSON_PATH),
+        rounds=1, iterations=1,
+    )
+
+    workload = record["workload"]
+    table = Table(
+        ["path", "seconds", "factorizations"],
+        title=f"excursion threshold sweep, n={workload['n']}, "
+              f"T={workload['n_thresholds']}, N={workload['n_samples']} "
+              f"(loop first, minima; speedup {record['speedup']:.2f}x)",
+    )
+    table.add_row(["loop", record["loop"]["seconds"],
+                   record["loop"]["factorizations"]])
+    table.add_row(["pipeline", record["pipeline"]["seconds"],
+                   record["pipeline"]["factorizations"]])
+    save_table(table, "pipeline")
+    print()
+    print(table.render())
+    print(f"wrote {JSON_PATH}")
+
+    assert record["identical"], (
+        "pipeline per-threshold results diverged from the loop of "
+        "transient excursion analyses"
+    )
+    assert record["factor_sharing"]["shared"], (
+        f"pipeline paid {record['pipeline']['factorizations']} "
+        f"factorizations, loop {record['loop']['factorizations']} — "
+        "no sharing happened"
+    )
+    assert record["speedup"] >= PIPELINE_SPEEDUP_GATE, (
+        f"pipeline only {record['speedup']:.2f}x faster than the loop "
+        f"(gate: {PIPELINE_SPEEDUP_GATE}x)"
+    )
+    assert record["gate"]["passed"]
+    assert JSON_PATH.exists()

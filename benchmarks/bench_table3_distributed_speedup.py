@@ -9,7 +9,6 @@ the paper reports 1.9x-5.2x for the Cholesky phase alone.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import save_table
 from repro.distributed import ClusterSpec, DistributedPMVNModel

@@ -151,6 +151,35 @@ def build_parser() -> argparse.ArgumentParser:
     crd.add_argument("--save", type=Path, default=None, help="save the result to this .npz path")
     crd.add_argument("--map", action="store_true", help="print the excursion map as ASCII")
 
+    pipe = sub.add_parser(
+        "pipeline",
+        help="build, explain or run a multi-query pipeline on a synthetic dataset",
+        parents=[runtime_parent],
+    )
+    pipe.add_argument("action", choices=["explain", "run"],
+                      help="explain: print the compiled stages and the whole-graph "
+                           "plan; run: execute on a solver session")
+    pipe.add_argument("--correlation", default="medium",
+                      help="weak / medium / strong or a range value")
+    pipe.add_argument("--grid", type=int, default=20,
+                      help="grid side of the synthetic dataset")
+    pipe.add_argument("--thresholds", type=int, default=4,
+                      help="number of excursion thresholds in the sweep")
+    pipe.add_argument("--confidence", type=float, default=0.95,
+                      help="confidence level 1-alpha")
+    pipe.add_argument("--method", default="dense", choices=["dense", "tlr", "auto"])
+    pipe.add_argument("--accuracy", type=float, default=1e-3)
+    pipe.add_argument("--samples", type=int, default=2000)
+    pipe.add_argument("--seed", type=int, default=0)
+    pipe.add_argument("--backend", default=None,
+                      choices=["numpy", "numba", "numba-parallel", "cupy",
+                               "reference", "auto"],
+                      help="QMC kernel backend (default: $REPRO_KERNEL_BACKEND or numpy)")
+    pipe.add_argument("--kernel-threads", type=int, default=None,
+                      help="threads for chain-parallel kernel backends")
+    pipe.add_argument("--verbose", action="store_true",
+                      help="print the per-phase timing breakdown of the run")
+
     update = sub.add_parser(
         "update",
         help="rank-k up/down-date of a warm factor, then query the updated model",
@@ -433,6 +462,59 @@ def _cmd_crd(args) -> int:
     return 0
 
 
+def _cmd_pipeline(args) -> int:
+    """Build a threshold-sweep excursion pipeline; explain or run it."""
+    from repro.datasets import make_synthetic_dataset
+    from repro.query import QueryPipeline, execute_pipeline
+    from repro.utils.timers import TimingRegistry
+
+    correlation = args.correlation
+    try:
+        correlation = float(correlation)
+    except ValueError:
+        pass
+    dataset = make_synthetic_dataset(correlation, grid_size=args.grid, rng=args.seed)
+    quantiles = np.linspace(0.5, 0.9, args.thresholds)
+    thresholds = [dataset.default_threshold(q) for q in quantiles]
+    alpha = 1.0 - args.confidence
+
+    pipeline = QueryPipeline(name="excursion-threshold-sweep")
+    pipeline.add_sigma("field", dataset.posterior.covariance,
+                       mean=dataset.posterior.mean)
+    pipeline.add_excursion_sweep("sweep", thresholds, sigma="field",
+                                 alpha=alpha, rng=args.seed)
+
+    config = _config_from_args(args, tile_size=max(32, dataset.n // 8))
+    if args.action == "explain":
+        print(pipeline.explain())
+        print()
+        from repro.query import QueryPlanner
+
+        print(QueryPlanner().plan_pipeline(pipeline, config).describe())
+        return 0
+
+    timings = TimingRegistry() if args.verbose else None
+    from repro.solver import MVNSolver
+
+    with MVNSolver(config, n_workers=args.workers, policy=args.policy,
+                   cache_entries=2 * len(thresholds) + 2) as solver:
+        out = execute_pipeline(pipeline, solver, timings=timings)
+        factorizations = solver.cache.factorize_count
+    print(f"locations        : {dataset.n}")
+    print(f"thresholds       : {', '.join(f'{u:.3f}' for u in thresholds)}")
+    print(f"confidence level : {args.confidence}")
+    print(f"factorizations   : {factorizations} "
+          f"(vs {2 * len(thresholds)} for a loop of transient detections)")
+    for threshold, analysis in zip(thresholds, out["sweep"]):
+        counts = analysis.summary()
+        print(f"  u={threshold:.3f}: above={counts['above']} "
+              f"below={counts['below']} uncertain={counts['uncertain']}")
+    if args.verbose and timings is not None:
+        print()
+        print(timings)
+    return 0
+
+
 def _cmd_update(args) -> int:
     """Factorize, apply a rank-k up/down-date, query both models."""
     import time
@@ -570,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_plan(args)
     if args.command == "crd":
         return _cmd_crd(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     if args.command == "update":
         return _cmd_update(args)
     if args.command == "serve":

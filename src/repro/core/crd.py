@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.factor import CholeskyFactor, factorize
-from repro.core.pmvn import PMVNOptions, pmvn_integrate, pmvn_integrate_batch
+from repro.core.pmvn import PMVNOptions, pmvn_integrate
 from repro.runtime import Runtime
 from repro.stats.normal import norm_cdf
 from repro.utils.timers import TimingRegistry, timed
@@ -209,14 +209,32 @@ def _confidence_region_impl(
     cache=None,
     backend: str | None = None,
     workspace=None,
+    validate: bool = True,
+    std_memo: dict | None = None,
 ) -> ConfidenceRegionResult:
     """Algorithm 1 proper (shared by the wrapper above and the solver API).
 
     ``backend`` / ``workspace`` select the QMC kernel implementation and the
     pooled sweep buffers for the PMVN sweeps (see
-    :class:`repro.core.pmvn.PMVNOptions`).
+    :class:`repro.core.pmvn.PMVNOptions`).  ``validate=False`` skips the
+    :func:`~repro.utils.validation.check_covariance` pass (an ``O(n^2)``
+    symmetry scan) for callers that already validated this covariance — a
+    :class:`~repro.solver.solver.Model` checks once and then amortizes it
+    over every detection it runs.
+
+    ``std_memo`` (a mutable dict owned by the caller) memoizes the reordered
+    correlation matrix per ``(ordering, nugget)``: the matrix depends on the
+    detection ordering but *not* on the threshold, so a threshold sweep whose
+    ordering is threshold-invariant rebuilds it once instead of per
+    detection — and, because the same array object is handed back to the
+    factor cache, the cache's identity-memoized fingerprint skips the
+    ``O(n^2)`` content hash as well.  The memoized matrix is never mutated
+    (the factorization paths copy), so the reuse is bit-identical.
     """
-    sigma = check_covariance(sigma, "covariance")
+    if validate:
+        sigma = check_covariance(sigma, "covariance")
+    else:
+        sigma = np.ascontiguousarray(sigma, dtype=np.float64)
     n = sigma.shape[0]
     mu = np.full(n, float(mean)) if np.isscalar(mean) else ensure_1d(mean, "mean")
     if mu.shape[0] != n:
@@ -229,9 +247,19 @@ def _confidence_region_impl(
         order = np.argsort(-p_marginal, kind="stable")
 
     with timed(timings, "standardize"):
-        corr_ord, a_std = _standardized_problem(sigma, mu, threshold, order)
-        if nugget:
-            corr_ord[np.diag_indices_from(corr_ord)] += nugget
+        memo_key = (order.tobytes(), float(nugget)) if std_memo is not None else None
+        corr_ord = std_memo.get(memo_key) if std_memo is not None else None
+        if corr_ord is None:
+            corr_ord, a_std = _standardized_problem(sigma, mu, threshold, order)
+            if nugget:
+                corr_ord[np.diag_indices_from(corr_ord)] += nugget
+            if std_memo is not None:
+                std_memo[memo_key] = corr_ord
+        else:
+            # same formula as _standardized_problem, only the O(n) part —
+            # the limits depend on the threshold, the matrix does not
+            std = np.sqrt(np.diag(sigma))
+            a_std = (threshold - mu[order]) / std[order]
 
     with timed(timings, "factorize"):
         # the covariance is factorized exactly once per detection; with a
@@ -317,38 +345,39 @@ def _sequential_joint_probabilities(
     backend: str | None = None,
     workspace=None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Paper-faithful prefix boxes, evaluated through the batched sweep.
+    """Paper-faithful prefix boxes, expressed as a prefix-chain pipeline.
 
-    One box per prefix size (``-inf`` lower limits outside the prefix), all
-    submitted against the shared factor in a single
-    :func:`~repro.core.pmvn.pmvn_integrate_batch` call, so the runtime
-    interleaves chain blocks across the prefixes instead of draining one
-    prefix at a time.  The chain block is pinned to the factor tile size, so
-    the per-chain arithmetic — and hence every probability — is identical to
-    the historical one-``pmvn_integrate``-per-prefix loop.
+    The prefix boxes (``-inf`` lower limits outside the prefix) are built
+    by :meth:`repro.query.QueryPipeline.add_prefix_chain` and executed
+    factor-bound: the chain compiles into one fused stage, which
+    :func:`repro.query.executors.execute_factor_bound` dispatches as a
+    single :func:`~repro.core.pmvn.pmvn_integrate_batch` call against the
+    shared factor — same boxes, same order, same options (the chain block
+    is pinned to the factor tile size), so the per-chain arithmetic — and
+    hence every probability — is identical to the historical
+    one-``pmvn_integrate``-per-prefix loop this replaces.
 
     Prefix sizes not in ``levels`` are filled by linear interpolation of the
     evaluated ones so the confidence function is defined everywhere.
     """
+    # imported late: the query layer builds on this module's result types
+    from repro.query.executors import execute_factor_bound
+    from repro.query.pipeline import QueryPipeline
+
     n = factor.n
-    if levels is None:
-        sizes = np.arange(1, n + 1)
-    else:
-        sizes = np.unique(np.clip(np.asarray(levels, dtype=int), 1, n))
-    b = np.full(n, np.inf)
-    boxes = []
-    for size in sizes:
-        a_vec = np.full(n, -np.inf)
-        a_vec[:size] = a_std[:size]
-        boxes.append((a_vec, b))
+    pipeline = QueryPipeline(name="crd-sequential")
+    pipeline.add_sigma("problem", n=n)
+    pipeline.add_prefix_chain("chain", a_std, sigma="problem",
+                              sizes=None if levels is None else levels)
+    sizes = np.array([pipeline.node(name).query.tag
+                      for name in pipeline.node("chain").inputs])
     options = PMVNOptions(
         n_samples=n_samples, chain_block=factor.tile_size, qmc=qmc, rng=rng,
         backend=backend, workspace=workspace, timings=timings,
     )
     with timed(timings, "pmvn_sequential"):
-        results = pmvn_integrate_batch(boxes, factor, options, runtime=runtime)
-    prob_at = np.array([result.probability for result in results])
-    err_at = np.array([result.error for result in results])
+        out = execute_factor_bound(pipeline, factor, options, runtime=runtime)
+    prob_at, err_at = out["chain"]
     all_sizes = np.arange(1, n + 1)
     prefix_prob = np.interp(all_sizes, sizes, prob_at)
     prefix_err = np.interp(all_sizes, sizes, err_at)

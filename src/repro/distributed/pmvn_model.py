@@ -23,7 +23,6 @@ import numpy as np
 from repro.distributed.cluster import ClusterSpec
 from repro.distributed.simulator import ClusterSimulator, SimTask, SimulationResult
 from repro.perf.calibration import CalibrationResult
-from repro.perf.models import PHI_EVAL_FLOPS
 from repro.utils.validation import check_positive_int
 
 __all__ = [

@@ -7,9 +7,19 @@ Figure 1), and dense-vs-TLR comparison utilities (Figures 1 right column
 and 3).
 """
 
-from repro.excursion.maps import excursion_map, marginal_probability_map, region_overlap
+from repro.excursion.maps import (
+    excursion_map,
+    excursion_map_sweep,
+    marginal_probability_map,
+    region_overlap,
+)
 from repro.excursion.regions import RegionSummary, label_regions, region_summaries
-from repro.excursion.sets import ExcursionAnalysis, excursion_analysis, negative_confidence_region
+from repro.excursion.sets import (
+    ExcursionAnalysis,
+    excursion_analysis,
+    excursion_threshold_sweep,
+    negative_confidence_region,
+)
 from repro.excursion.validation import (
     MCValidationResult,
     mc_validate_regions,
@@ -18,10 +28,12 @@ from repro.excursion.validation import (
 
 __all__ = [
     "excursion_map",
+    "excursion_map_sweep",
     "marginal_probability_map",
     "region_overlap",
     "ExcursionAnalysis",
     "excursion_analysis",
+    "excursion_threshold_sweep",
     "negative_confidence_region",
     "RegionSummary",
     "label_regions",

@@ -8,6 +8,14 @@ maker needs ("where are we sure", "where are we sure it does not", "where do
 we not know").  Both reduce to the positive machinery by sign flips, so they
 are provided here as thin, well-tested wrappers around
 :func:`repro.core.crd.confidence_region`.
+
+The joint analyses (:func:`excursion_analysis`,
+:func:`excursion_threshold_sweep`) are expressed as
+:class:`repro.query.QueryPipeline` graphs executed on one solver session:
+the positive and negative legs — and, in a sweep, every threshold — share
+one runtime and one :class:`repro.batch.FactorCache`, so a
+constant-variance field factorizes once per excursion sign for the whole
+workload instead of once per ``confidence_region`` call.
 """
 
 from __future__ import annotations
@@ -17,9 +25,35 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.crd import ConfidenceRegionResult, confidence_region
-from repro.utils.validation import check_probability
+from repro.utils.validation import check_probability, ensure_1d
 
-__all__ = ["ExcursionAnalysis", "negative_confidence_region", "excursion_analysis"]
+__all__ = [
+    "ExcursionAnalysis",
+    "negative_confidence_region",
+    "excursion_analysis",
+    "excursion_threshold_sweep",
+]
+
+#: the keyword arguments :func:`repro.core.crd.confidence_region` accepts
+#: beyond its positional ones — the boundary contract of every wrapper here
+_CRD_KWARGS = (
+    "method", "algorithm", "n_samples", "tile_size", "accuracy", "max_rank",
+    "runtime", "qmc", "rng", "nugget", "timings", "levels", "cache", "backend",
+)
+
+
+def _check_crd_kwargs(kwargs: dict, where: str) -> None:
+    """Reject unknown options at the boundary, like ``MVNQuery`` validation.
+
+    A typo'd keyword must raise here — not as a confusing ``TypeError``
+    deep inside the sweep after the factorization was already paid.
+    """
+    unknown = sorted(set(kwargs) - set(_CRD_KWARGS))
+    if unknown:
+        raise ValueError(
+            f"unknown {where} option(s): {', '.join(map(repr, unknown))}; "
+            f"valid options are {sorted(_CRD_KWARGS)}"
+        )
 
 
 def negative_confidence_region(sigma, mean, threshold: float, **kwargs) -> ConfidenceRegionResult:
@@ -29,6 +63,7 @@ def negative_confidence_region(sigma, mean, threshold: float, **kwargs) -> Confi
     covariance is symmetric under the sign flip).  The returned
     ``confidence_function`` is the negative-excursion confidence ``F-``.
     """
+    _check_crd_kwargs(kwargs, "negative_confidence_region")
     mean = np.asarray(mean, dtype=np.float64) if not np.isscalar(mean) else mean
     neg_mean = -mean if not np.isscalar(mean) else -float(mean)
     result = confidence_region(sigma, neg_mean, -float(threshold), **kwargs)
@@ -74,13 +109,98 @@ class ExcursionAnalysis:
         }
 
 
+def _excursion_session(kwargs: dict):
+    """A solver session matching ``confidence_region``'s transient defaults.
+
+    Same :class:`~repro.solver.SolverConfig` the functional wrapper builds,
+    but held open across every detection of the pipeline so all legs and
+    thresholds share one runtime and one factor cache.
+    """
+    # imported late: repro.solver builds on the core crd implementation
+    from repro.solver import MVNSolver, SolverConfig
+
+    config = SolverConfig(
+        method=kwargs.get("method", "dense"),
+        n_samples=kwargs.get("n_samples", 10_000),
+        tile_size=kwargs.get("tile_size"),
+        accuracy=kwargs.get("accuracy", 1e-3),
+        max_rank=kwargs.get("max_rank"),
+        qmc=kwargs.get("qmc", "richtmyer"),
+        backend=kwargs.get("backend"),
+    )
+    solver_kwargs = {}
+    if "cache" in kwargs:
+        solver_kwargs["cache"] = kwargs["cache"]
+    return MVNSolver(config, runtime=kwargs.get("runtime"), **solver_kwargs)
+
+
 def excursion_analysis(sigma, mean, threshold: float, alpha: float = 0.05, **kwargs) -> ExcursionAnalysis:
     """Run the positive and negative confidence-region detection together.
 
     Keyword arguments are forwarded to :func:`repro.core.crd.confidence_region`
     (method, n_samples, tile_size, accuracy, runtime, ...).
+
+    The two legs are expressed as a two-node
+    :class:`repro.query.QueryPipeline` executed on **one** solver session,
+    so they share a runtime and a :class:`repro.batch.FactorCache` instead
+    of factorizing their standardized problems in two independent transient
+    solvers; the per-leg results are bit-identical to independent
+    :func:`~repro.core.crd.confidence_region` /
+    :func:`negative_confidence_region` calls with the same settings.
     """
     alpha = check_probability(alpha, "alpha")
-    positive = confidence_region(sigma, mean, threshold, **kwargs)
-    negative = negative_confidence_region(sigma, mean, threshold, **kwargs)
-    return ExcursionAnalysis(positive=positive, negative=negative, alpha=alpha, threshold=float(threshold))
+    _check_crd_kwargs(kwargs, "excursion_analysis")
+    from repro.query.executors import execute_pipeline
+    from repro.query.pipeline import QueryPipeline
+
+    pipeline = QueryPipeline(name="excursion-analysis")
+    pipeline.add_sigma("field", sigma, mean=mean)
+    node_kwargs = dict(
+        algorithm=kwargs.get("algorithm", "prefix"), rng=kwargs.get("rng"),
+        nugget=kwargs.get("nugget", 1e-8), levels=kwargs.get("levels"),
+    )
+    pipeline.add_crd("positive", sigma="field", threshold=threshold, **node_kwargs)
+    pipeline.add_crd("negative", sigma="field", threshold=threshold, negate=True,
+                     **node_kwargs)
+    with _excursion_session(kwargs) as solver:
+        out = execute_pipeline(pipeline, solver, timings=kwargs.get("timings"))
+    return ExcursionAnalysis(positive=out["positive"], negative=out["negative"],
+                             alpha=alpha, threshold=float(threshold))
+
+
+def excursion_threshold_sweep(sigma, mean, thresholds, alpha: float = 0.05,
+                              **kwargs) -> list[ExcursionAnalysis]:
+    """One :func:`excursion_analysis` per threshold, as a single pipeline.
+
+    Builds the threshold-sweep excursion pipeline
+    (:meth:`repro.query.QueryPipeline.add_excursion_sweep`) and executes it
+    on one solver session: all ``2 * len(thresholds)`` detections share one
+    runtime and one factor cache sized for the sweep.  For a
+    constant-variance field the detection ordering is threshold-invariant,
+    so the whole sweep pays **two** factorizations (one per excursion sign)
+    instead of the ``2 * len(thresholds)`` a loop of transient
+    ``excursion_analysis`` calls performs — with bit-identical per-threshold
+    results.  This is the workload ``benchmarks/bench_pipeline.py`` gates.
+    """
+    alpha = check_probability(alpha, "alpha")
+    _check_crd_kwargs(kwargs, "excursion_threshold_sweep")
+    thresholds = ensure_1d(thresholds, "thresholds")
+    from repro.query.executors import execute_pipeline
+    from repro.query.pipeline import QueryPipeline
+
+    pipeline = QueryPipeline(name="excursion-threshold-sweep")
+    pipeline.add_sigma("field", sigma, mean=mean)
+    pipeline.add_excursion_sweep(
+        "sweep", thresholds, sigma="field", alpha=alpha,
+        algorithm=kwargs.get("algorithm", "prefix"), rng=kwargs.get("rng"),
+        nugget=kwargs.get("nugget", 1e-8), levels=kwargs.get("levels"),
+    )
+    session = _excursion_session(kwargs)
+    # every distinct standardized problem of the sweep must stay resident:
+    # two per threshold in the worst case, plus headroom
+    if session._owns_cache:
+        session.cache.max_entries = max(session.cache.max_entries,
+                                        2 * thresholds.shape[0] + 2)
+    with session as solver:
+        out = execute_pipeline(pipeline, solver, timings=kwargs.get("timings"))
+    return out["sweep"]

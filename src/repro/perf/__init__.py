@@ -21,6 +21,7 @@ from repro.perf.online_updates import (
     run_online_update_benchmark,
     online_update_scenarios,
 )
+from repro.perf.pipeline import run_pipeline_benchmark, pipeline_workload
 from repro.perf.planner import run_planner_benchmark, planner_scenarios
 from repro.perf.scheduler import run_scheduler_benchmark, scheduler_workload
 from repro.perf.serving import run_serving_benchmark, serving_workload
@@ -42,6 +43,8 @@ __all__ = [
     "hotpath_workload",
     "run_online_update_benchmark",
     "online_update_scenarios",
+    "run_pipeline_benchmark",
+    "pipeline_workload",
     "run_planner_benchmark",
     "planner_scenarios",
     "run_scheduler_benchmark",

@@ -1,0 +1,173 @@
+"""Measured pipeline benchmark (the QueryPipeline perf gate).
+
+:func:`run_pipeline_benchmark` checks that the threshold-sweep excursion
+pipeline earns its keep: running ``T`` thresholds of the joint
+positive/negative excursion analysis through **one**
+:func:`repro.excursion.excursion_threshold_sweep` pipeline — one solver
+session, one factor cache, covariance validation and structure probing
+hoisted to the graph level — must beat the equivalent loop of transient
+:func:`repro.excursion.excursion_analysis` calls by at least
+:data:`PIPELINE_SPEEDUP_GATE` x, with **bit-identical** per-threshold
+confidence functions.
+
+The workload is a 1-D exponential-kernel field with constant variance and a
+strictly monotone (tie-free) mean, so the detection ordering is
+threshold-invariant: every positive leg of the sweep shares one cached
+factorization and every negative leg one more.  The pipeline therefore pays
+**2** factorizations where the loop pays ``2 T`` — the benchmark records the
+cache's ``factorize_count`` for both paths as evidence, not just the wall
+clock.  Emits ``BENCH_pipeline.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "run_pipeline_benchmark",
+    "pipeline_workload",
+    "PIPELINE_SPEEDUP_GATE",
+]
+
+#: acceptance threshold: loop of transient excursion analyses vs one pipeline
+PIPELINE_SPEEDUP_GATE = 2.0
+
+
+def pipeline_workload(quick: bool = False) -> dict:
+    """The benchmark workload: one field, a sweep of excursion thresholds.
+
+    A constant-variance exponential-kernel field with a strictly monotone
+    mean.  Monotonicity matters: ties in the marginal exceedance
+    probabilities would break the threshold-invariance of the detection
+    ordering and with it the factor sharing the gate measures.
+
+    ``quick=True`` shrinks the dimension for the tier-1 smoke run (the
+    plumbing, the factor-sharing evidence and the bit-identity verdict are
+    exercised, timings are noise, the speed gate is skipped).
+    """
+    if quick:
+        return {"n": 48, "n_thresholds": 2, "n_samples": 64}
+    return {"n": 2000, "n_thresholds": 8, "n_samples": 32}
+
+
+def _field(n: int) -> tuple[np.ndarray, np.ndarray]:
+    pts = np.linspace(0.0, 1.0, n)
+    sigma = np.exp(-np.abs(pts[:, None] - pts[None, :]) / 0.25) + 1e-6 * np.eye(n)
+    mean = np.linspace(-1.0, 1.5, n)
+    return sigma, mean
+
+
+def run_pipeline_benchmark(
+    repeats: int = 3,
+    seed: int = 0,
+    quick: bool = False,
+    json_path: str | Path | None = None,
+) -> dict:
+    """Run the pipeline-vs-loop benchmark and return the record.
+
+    Parameters
+    ----------
+    repeats : int
+        Timed repetitions per path; minima are reported.  The loop path
+        runs first in every repeat so the pipeline never benefits from
+        warmer BLAS caches.
+    seed : int
+        QMC seed, shared by every detection of both paths so the
+        per-threshold results are comparable bit for bit.
+    quick : bool
+        Tiny dimension, speed gate skipped — the ``perf_smoke`` tier-1 mode.
+    json_path : path, optional
+        When given, the record is also written there as JSON.
+    """
+    from repro.batch import FactorCache
+    from repro.excursion import excursion_analysis, excursion_threshold_sweep
+
+    workload = pipeline_workload(quick=quick)
+    n = workload["n"]
+    n_thresholds = workload["n_thresholds"]
+    n_samples = workload["n_samples"]
+    sigma, mean = _field(n)
+    thresholds = np.linspace(0.0, 1.0, n_thresholds)
+
+    record: dict = {
+        "benchmark": "pipeline",
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform()},
+        "gate": {
+            "metric": "loop of transient excursion_analysis calls vs one "
+                      "excursion_threshold_sweep pipeline, bit-identical "
+                      "per-threshold results",
+            "threshold": PIPELINE_SPEEDUP_GATE,
+            "quick": quick,
+        },
+        "workload": {"n": n, "n_thresholds": n_thresholds,
+                     "n_samples": n_samples, "seed": seed,
+                     "thresholds": thresholds.tolist()},
+    }
+
+    # warm the BLAS/kernel paths once before any timed repetition
+    excursion_analysis(sigma, mean, float(thresholds[0]),
+                       n_samples=n_samples, rng=seed)
+
+    loop_times: list[float] = []
+    pipe_times: list[float] = []
+    loop_factorizations = pipe_factorizations = None
+    loop_results = pipe_results = None
+    for _ in range(repeats):
+        # baseline: what a caller without QueryPipeline must do — one
+        # transient excursion_analysis per threshold, each paying its own
+        # factorizations (counted through per-call caches)
+        loop_caches = [FactorCache(max_entries=4) for _ in thresholds]
+        start = time.perf_counter()
+        loop_results = [
+            excursion_analysis(sigma, mean, float(u), n_samples=n_samples,
+                               rng=seed, cache=cache)
+            for u, cache in zip(thresholds, loop_caches)
+        ]
+        loop_times.append(time.perf_counter() - start)
+        loop_factorizations = sum(c.factorize_count for c in loop_caches)
+
+        pipe_cache = FactorCache(max_entries=2 * n_thresholds + 2)
+        start = time.perf_counter()
+        pipe_results = excursion_threshold_sweep(
+            sigma, mean, thresholds, n_samples=n_samples, rng=seed,
+            cache=pipe_cache,
+        )
+        pipe_times.append(time.perf_counter() - start)
+        pipe_factorizations = pipe_cache.factorize_count
+
+    identical = bool(all(
+        np.array_equal(p.positive.confidence_function,
+                       l.positive.confidence_function)
+        and np.array_equal(p.negative.confidence_function,
+                           l.negative.confidence_function)
+        for p, l in zip(pipe_results, loop_results)
+    ))
+    speedup = min(loop_times) / min(pipe_times)
+    shared = bool(pipe_factorizations < loop_factorizations)
+    passed = bool(identical and shared
+                  and (quick or speedup >= PIPELINE_SPEEDUP_GATE))
+
+    record["loop"] = {"seconds": min(loop_times),
+                      "factorizations": loop_factorizations}
+    record["pipeline"] = {"seconds": min(pipe_times),
+                          "factorizations": pipe_factorizations}
+    record["speedup"] = speedup
+    record["identical"] = identical
+    record["factor_sharing"] = {
+        "pipeline": pipe_factorizations,
+        "loop": loop_factorizations,
+        "shared": shared,
+    }
+    record["gate"]["passed"] = passed
+
+    if json_path is not None:
+        json_path = Path(json_path)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

@@ -12,8 +12,14 @@ The query layer decouples *what* a caller asks from *how* it runs:
   backend, and sets the adaptive-accuracy schedule a ``target_error``
   triggers.  :func:`plan_query` is the one-shot convenience (the CLI's
   ``repro plan``).
+* :class:`QueryPipeline` / :class:`PipelinePlan` — multi-query DAGs with
+  explicit shared-factorization and shared-sweep edges, costed whole by
+  :meth:`QueryPlanner.plan_pipeline` and executed by
+  :func:`execute_pipeline` on a solver session or serving broker (the CLI's
+  ``repro pipeline``).
 
-See ``docs/query.md`` for the spec -> plan -> execute lifecycle.
+See ``docs/query.md`` for the spec -> plan -> execute lifecycle and
+``docs/pipelines.md`` for the pipeline graph model.
 
 >>> import numpy as np
 >>> from repro.query import MVNQuery, plan_query
@@ -33,6 +39,22 @@ from repro.query.planner import (
     next_sample_count,
     plan_query,
 )
+from repro.query.pipeline import (
+    PipelineNode,
+    PipelinePlan,
+    PipelineStage,
+    QueryPipeline,
+    SigmaRef,
+    build_pipeline_plan,
+    escalate_batch,
+    run_adaptive,
+)
+from repro.query.executors import (
+    PipelineResult,
+    execute_factor_bound,
+    execute_pipeline,
+    simulate_pipeline,
+)
 
 __all__ = [
     "MVNQuery",
@@ -41,4 +63,16 @@ __all__ = [
     "plan_query",
     "next_sample_count",
     "DEFAULT_BUDGET_MULTIPLIER",
+    "QueryPipeline",
+    "PipelineNode",
+    "PipelineStage",
+    "PipelinePlan",
+    "PipelineResult",
+    "SigmaRef",
+    "build_pipeline_plan",
+    "execute_pipeline",
+    "execute_factor_bound",
+    "simulate_pipeline",
+    "run_adaptive",
+    "escalate_batch",
 ]

@@ -464,6 +464,21 @@ class QueryPlanner:
         )
 
 
+    def plan_pipeline(self, pipeline, config):
+        """Cost a whole :class:`repro.query.QueryPipeline` in one decision.
+
+        One structure probe per covariance reference at most, method
+        resolution hoisted to the graph level (every stage against a ref
+        executes that ref's plan), fused same-Sigma sweeps costed once per
+        member while the factorization is costed once per ref.  Returns a
+        :class:`repro.query.PipelinePlan`.
+        """
+        # imported late: repro.query.pipeline builds on this module
+        from repro.query.pipeline import build_pipeline_plan
+
+        return build_pipeline_plan(pipeline, config, self)
+
+
 def plan_query(sigma, config, query: MVNQuery | None = None, **kwargs) -> QueryPlan:
     """Convenience wrapper: plan with a default :class:`QueryPlanner`.
 

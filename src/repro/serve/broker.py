@@ -304,7 +304,8 @@ class QueryBroker:
     # -- submission ------------------------------------------------------------------
     def submit(self, a, b=None, sigma=None, *, mean=None, n_samples: int | None = None,
                rng=None, qmc: str | None = None, target_error: float | None = None,
-               max_samples: int | None = None, timeout: float | None = None) -> Future:
+               max_samples: int | None = None, timeout: float | None = None,
+               batch_tag=None) -> Future:
         """Queue one probability query; returns a Future of its result.
 
         Accepts either explicit limits (``submit(a, b, sigma, ...)``) or a
@@ -342,6 +343,11 @@ class QueryBroker:
             ``None`` (default) blocks until a slot frees, a number waits at
             most that many seconds, ``0`` raises
             :class:`ServeOverloadedError` immediately.
+        batch_tag : hashable, optional
+            Extra batch-key component for pipeline-aware batching: requests
+            with different tags never share a micro-batch window, so a
+            pipeline executor can keep each stage's sweep together (see
+            :func:`repro.query.execute_pipeline`).
 
         Returns
         -------
@@ -421,6 +427,7 @@ class QueryBroker:
             planned,
             query.target_error,
             query.max_samples,
+            batch_tag,
         )
 
         if not self._slots.acquire(timeout=timeout):
@@ -616,7 +623,8 @@ class QueryBroker:
 
     def _flush(self, key: tuple, bucket: _Bucket) -> None:
         """Dispatch one micro-batch to the shard owning its fingerprint."""
-        fingerprint, n_samples, qmc, seed, _planned, target_error, max_samples = key
+        (fingerprint, n_samples, qmc, seed, _planned, target_error, max_samples,
+         _batch_tag) = key
         requests = bucket.requests
         sigma_src = requests[0].sigma
         if isinstance(sigma_src, SigmaUpdate):

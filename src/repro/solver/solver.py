@@ -47,10 +47,11 @@ from repro.core.update import FactorLineage, lineage_fingerprint, normalize_upda
 from repro.mvn.mc import mvn_mc
 from repro.mvn.result import MVNResult
 from repro.mvn.sov import mvn_sov, mvn_sov_vectorized
-from repro.query import MVNQuery, QueryPlan, QueryPlanner, next_sample_count
+from repro.query import MVNQuery, QueryPlan, QueryPlanner
+from repro.query.pipeline import escalate_batch, run_adaptive
 from repro.runtime import Runtime
 from repro.solver.config import SolverConfig
-from repro.utils.validation import check_limits
+from repro.utils.validation import check_covariance, check_limits
 
 __all__ = ["MVNSolver", "Model"]
 
@@ -231,6 +232,14 @@ class Model:
             raise ValueError("Model needs a covariance matrix or a pre-computed factor")
         self._fingerprint: str | None = None
         self._lineage: FactorLineage | None = None
+        # covariance validation (an O(n^2) symmetry scan) happens at most
+        # once per model, not once per detection — pipelines that run many
+        # confidence regions against one model amortize it away entirely
+        self._sigma_validated = False
+        # reordered correlation matrices per (detection ordering, nugget):
+        # a threshold sweep with a threshold-invariant ordering standardizes
+        # once instead of per detection (see _confidence_region_impl)
+        self._std_memo: dict = {}
         self._mean = mean
         # one factor per resolved method: ``method="auto"`` may legitimately
         # answer different queries with different estimators against one model
@@ -505,26 +514,15 @@ class Model:
         qmc = cfg.qmc if query.qmc is None else query.qmc
         plan = self.plan(query)
 
-        n_samples = plan.n_samples
-        rounds = 0
-        samples_used = 0
-        while True:
-            result = self._evaluate(
-                plan.method, query.a, query.b, mean, n_samples, qmc,
+        # the adaptive loop itself lives in repro.query.pipeline so single
+        # queries and pipeline stages share literally the same schedule
+        result, rounds, samples_used, target_met = run_adaptive(
+            lambda count: self._evaluate(
+                plan.method, query.a, query.b, mean, count, qmc,
                 query.rng, plan.backend, timings,
-            )
-            rounds += 1
-            samples_used += n_samples
-            if plan.target_error is None or result.error <= plan.target_error:
-                target_met = None if plan.target_error is None else True
-                break
-            escalated = next_sample_count(
-                n_samples, result.error, plan.target_error, plan.max_samples
-            )
-            if escalated is None:
-                target_met = False
-                break
-            n_samples = escalated
+            ),
+            plan,
+        )
         result.details["plan"] = plan.as_details(
             rounds=rounds, samples_used=samples_used, target_met=target_met
         )
@@ -651,28 +649,14 @@ class Model:
         land on the same next sample count share one re-sweep.
         """
         resolved = _resolve_means(means, len(boxes), self.n)
-        box_samples = [plan.n_samples] * len(boxes)
-        while True:
-            escalations: dict[int, list[int]] = {}
-            for idx, result in enumerate(results):
-                escalated = next_sample_count(
-                    box_samples[idx], result.error, plan.target_error, plan.max_samples
-                )
-                if escalated is not None:
-                    escalations.setdefault(escalated, []).append(idx)
-            if not escalations:
-                return
-            for n_next, indices in sorted(escalations.items()):
-                re_results = self._evaluate_batch(
-                    plan, [boxes[i] for i in indices],
-                    np.stack([resolved[i] for i in indices]),
-                    n_next, qmc, rng, timings,
-                )
-                for idx, re_result in zip(indices, re_results):
-                    results[idx] = re_result
-                    box_samples[idx] = n_next
-                    rounds[idx] += 1
-                    samples_used[idx] += n_next
+        escalate_batch(
+            lambda indices, n_next: self._evaluate_batch(
+                plan, [boxes[i] for i in indices],
+                np.stack([resolved[i] for i in indices]),
+                n_next, qmc, rng, timings,
+            ),
+            plan, results, rounds, samples_used,
+        )
 
     def confidence_region(
         self, threshold: float, *, algorithm: str = "prefix",
@@ -701,13 +685,17 @@ class Model:
             )
         n_samples = cfg.n_samples if n_samples is None else n_samples
         qmc = cfg.qmc if qmc is None else qmc
+        if not self._sigma_validated:
+            self._sigma_arr = check_covariance(self._sigma, "covariance")
+            self._sigma_validated = True
         return _confidence_region_impl(
             self._sigma, self._mean, threshold, method=method,
             algorithm=algorithm, n_samples=n_samples, tile_size=cfg.tile_size,
             accuracy=cfg.accuracy, max_rank=cfg.max_rank,
             runtime=solver.runtime, qmc=qmc, rng=rng, nugget=nugget,
             timings=timings, levels=levels, cache=solver.cache,
-            backend=backend, workspace=self._sweep_workspace,
+            backend=backend, workspace=self._sweep_workspace, validate=False,
+            std_memo=self._std_memo,
         )
 
     def _shared_means(self, n_boxes: int):

@@ -81,7 +81,7 @@ class TestDocumentSnippets:
         "name",
         ["README.md", "docs/batch.md", "docs/solver.md", "docs/performance.md",
          "docs/serving.md", "docs/query.md", "docs/runtime.md",
-         "docs/updates.md"],
+         "docs/updates.md", "docs/pipelines.md"],
     )
     def test_python_blocks_execute(self, name):
         for idx, block in enumerate(_python_blocks(REPO_ROOT / name)):
@@ -99,7 +99,8 @@ class TestDocumentSnippets:
         for term in ("SOV", "PMVN", "TLR", "CRD", "Chain block", "Micro-batching",
                      "Shard", "Factor fingerprint", "Kernel backend",
                      "Workspace pooling", "Query", "Query plan", "Error target",
-                     "Rank-k update", "Lineage fingerprint"):
+                     "Rank-k update", "Lineage fingerprint", "Pipeline",
+                     "Plan edge", "Stage fusion"):
             assert term in readme, f"glossary term {term} missing from README"
 
     def test_every_docs_page_reachable_from_readme(self):

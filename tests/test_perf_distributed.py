@@ -1,6 +1,5 @@
 """Tests for the performance models and the simulated distributed cluster."""
 
-import numpy as np
 import pytest
 
 from repro.distributed import (

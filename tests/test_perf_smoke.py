@@ -18,6 +18,7 @@ import pytest
 from repro.perf.distributed_serving import run_distributed_serving_benchmark
 from repro.perf.hotpath import run_hotpath_benchmark
 from repro.perf.online_updates import run_online_update_benchmark
+from repro.perf.pipeline import run_pipeline_benchmark
 from repro.perf.planner import run_planner_benchmark
 from repro.perf.scheduler import run_scheduler_benchmark
 from repro.perf.serving import run_serving_benchmark
@@ -198,6 +199,28 @@ def test_online_update_benchmark_smoke(tmp_path):
         assert data["rel_diff"] <= 1e-9
         assert data["update_seconds"] > 0.0
         assert data["passed"]
+    assert record["gate"]["passed"]
+
+
+def test_pipeline_benchmark_smoke(tmp_path):
+    """Tiny sweep run: plumbing, factor sharing, bit-identity — no speed gate."""
+    json_path = tmp_path / "BENCH_pipeline.json"
+    record = run_pipeline_benchmark(repeats=1, quick=True, json_path=json_path)
+
+    assert json_path.exists()
+    on_disk = json.loads(json_path.read_text())
+    assert on_disk["benchmark"] == "pipeline"
+    assert on_disk["gate"]["threshold"] == 2.0
+
+    # the pipeline's per-threshold results must match the loop bit for bit
+    # even in quick mode — only the *speed* gate needs the full-size run
+    assert record["identical"]
+    # the factor-sharing evidence: 2 factorizations (one per excursion sign,
+    # the ordering is threshold-invariant) vs 2 per threshold for the loop
+    assert record["pipeline"]["factorizations"] == 2
+    assert record["loop"]["factorizations"] == \
+        2 * record["workload"]["n_thresholds"]
+    assert record["pipeline"]["seconds"] > 0.0
     assert record["gate"]["passed"]
 
 

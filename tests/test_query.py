@@ -25,7 +25,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    Model,
     MVNQuery,
     MVNResult,
     MVNSolver,

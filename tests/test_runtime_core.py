@@ -7,7 +7,6 @@ from repro.runtime import (
     READ,
     READWRITE,
     WRITE,
-    AccessMode,
     DataHandle,
     Task,
     TaskGraph,
